@@ -1,0 +1,35 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper, prints the
+rows/series it produces and archives them under ``benchmarks/results/`` so
+the numbers survive the pytest run.  Set ``REPRO_FULL_EVAL=1`` to run the
+full paper-sized sweeps (all layers of all four networks, larger baseline
+search budgets); the default sizes keep the whole suite to a few minutes.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def full_evaluation() -> bool:
+    """True when the user requested the full paper-sized sweep."""
+    return os.environ.get("REPRO_FULL_EVAL", "0") == "1"
+
+
+def layers_per_network(quick_default: int) -> int | None:
+    """Layer-count limit per network (None = every layer, used in full mode)."""
+    return None if full_evaluation() else quick_default
+
+
+def save_report(name: str, text: str) -> Path:
+    """Write a benchmark report to ``benchmarks/results/<name>.txt`` and echo it."""
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    path = RESULTS_DIR / f"{name}.txt"
+    path.write_text(text + "\n")
+    print()
+    print(text)
+    return path

@@ -1,0 +1,29 @@
+"""Fig. 7: total-energy improvement over Random search (energy objective)."""
+
+from bench_utils import layers_per_network, save_report
+
+from repro.experiments.figures import fig7_energy_improvement
+from repro.experiments.harness import geometric_mean
+from repro.experiments.reporting import format_speedup_rows
+
+
+def test_fig7_energy_improvement(benchmark):
+    summaries = benchmark.pedantic(
+        fig7_energy_improvement,
+        kwargs={"layers_per_network": layers_per_network(3)},
+        rounds=1,
+        iterations=1,
+    )
+
+    overall_cosa = geometric_mean(s.cosa_geomean for s in summaries)
+    overall_hybrid = geometric_mean(s.hybrid_geomean for s in summaries)
+    report = format_speedup_rows(
+        summaries, title="Fig. 7 - energy improvement vs Random (Timeloop energy model)"
+    )
+    report += f"\n\nOVERALL geomean: Random=1.00  Hybrid={overall_hybrid:.2f}  CoSA={overall_cosa:.2f}"
+    save_report("fig7_energy", report)
+
+    # Paper shape: CoSA improves energy over Random (3.3x) and is at least
+    # competitive with the hybrid mapper (22% better in the paper).
+    assert overall_cosa > 1.0
+    assert overall_cosa > overall_hybrid * 0.8

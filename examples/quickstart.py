@@ -1,0 +1,41 @@
+"""Quickstart: schedule one ResNet-50 layer on the baseline accelerator with CoSA.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.arch import simba_like
+from repro.core import CoSAScheduler
+from repro.mapping import render_loop_nest
+from repro.model import CostModel
+from repro.workloads import layer_from_name
+
+
+def main() -> None:
+    # 1. Describe the hardware (Table V of the paper) and the layer to map.
+    accelerator = simba_like()
+    layer = layer_from_name("3_7_512_512_1")  # a ResNet-50 3x3 convolution
+
+    print(accelerator.describe())
+    print()
+    print(f"Scheduling {layer} ...")
+
+    # 2. One-shot constrained-optimization scheduling.
+    scheduler = CoSAScheduler(accelerator)
+    result = scheduler.schedule(layer)
+    print(f"solver status: {result.solution.status.value}, "
+          f"time-to-solution: {result.solve_time_seconds:.1f}s")
+
+    # 3. Inspect the schedule as a Listing-1 style loop nest.
+    print()
+    print(render_loop_nest(result.mapping, level_names=list(accelerator.hierarchy.names)))
+
+    # 4. Evaluate it with the analytical (Timeloop-style) cost model.
+    cost = CostModel(accelerator).evaluate(result.mapping)
+    print()
+    print(f"latency : {cost.latency / 1e6:.3f} MCycles (bound by {cost.latency_breakdown.bound_by})")
+    print(f"energy  : {cost.energy / 1e6:.3f} uJ")
+    print(f"PE-lane utilization: {cost.utilization:.1%}")
+
+
+if __name__ == "__main__":
+    main()

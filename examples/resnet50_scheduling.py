@@ -1,0 +1,46 @@
+"""Schedule a slice of ResNet-50 with CoSA and the search baselines.
+
+Reproduces the flavour of Fig. 6 on a handful of layers: per-layer latency of
+Random search, the Timeloop-Hybrid-style mapper and CoSA, all evaluated with
+the analytical cost model.
+
+Run:  python examples/resnet50_scheduling.py [num_layers]
+"""
+
+import sys
+
+from repro.arch import simba_like
+from repro.baselines import RandomScheduler, TimeloopHybridScheduler
+from repro.core import CoSAScheduler
+from repro.experiments.harness import geometric_mean
+from repro.model import CostModel
+from repro.workloads import workload_suite
+
+
+def main(num_layers: int = 5) -> None:
+    accelerator = simba_like()
+    cost_model = CostModel(accelerator)
+    layers = workload_suite()["resnet50"][:num_layers]
+
+    random_search = RandomScheduler(accelerator)
+    hybrid = TimeloopHybridScheduler(accelerator, num_threads=2, termination_condition=64,
+                                     max_evaluations=800)
+    cosa = CoSAScheduler(accelerator)
+
+    print(f"{'layer':20s} {'Random':>12s} {'Hybrid':>12s} {'CoSA':>12s} {'CoSA speedup':>14s}")
+    speedups = []
+    for layer in layers:
+        random_latency = random_search.schedule(layer).cost.latency
+        hybrid_latency = hybrid.schedule(layer).cost.latency
+        cosa_mapping = cosa.schedule(layer).mapping
+        cosa_latency = cost_model.evaluate(cosa_mapping).latency
+        speedups.append(random_latency / cosa_latency)
+        print(
+            f"{layer.name:20s} {random_latency:12.3e} {hybrid_latency:12.3e} "
+            f"{cosa_latency:12.3e} {speedups[-1]:13.2f}x"
+        )
+    print(f"\ngeomean CoSA speedup over Random: {geometric_mean(speedups):.2f}x")
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 5)

@@ -1,0 +1,88 @@
+"""Calibration sweep for the CoSA objective weights.
+
+Compares several (utilization, compute, traffic) weight combinations and
+capacity fractions against the Random and Timeloop-Hybrid baselines on a
+sample of layers, reporting the geometric-mean latency ratio.  The paper
+tunes its weights with micro-benchmarks per architecture; this script plays
+that role for the reproduction.
+
+Run:  python scripts/calibrate_weights.py
+"""
+
+from __future__ import annotations
+
+import math
+import time
+
+from repro.arch import simba_like
+from repro.baselines import RandomScheduler, TimeloopHybridScheduler
+from repro.core.objectives import ObjectiveWeights
+from repro.core.scheduler import CoSAScheduler
+from repro.model import CostModel
+from repro.workloads import layer_from_name
+
+SAMPLE_LAYERS = [
+    "3_7_512_512_1",
+    "1_14_256_1024_1",
+    "3_27_128_128_1",
+    "1_1_4096_1000_1",
+    "11_55_3_64_4",
+    "3_14_128_256_1",
+    "1_56_64_64_1",
+    "3_56_64_64_1",
+]
+
+WEIGHT_SETS = {
+    "equal (1,1,1) f=0.5": (ObjectiveWeights(1.0, 1.0, 1.0), 0.5),
+    "compute-heavy (0.2,4,1) f=0.5": (ObjectiveWeights(0.2, 4.0, 1.0), 0.5),
+    "compute-heavy (0.2,4,1) f=0.8": (ObjectiveWeights(0.2, 4.0, 1.0), 0.8),
+    "balanced (0.5,2,1) f=0.8": (ObjectiveWeights(0.5, 2.0, 1.0), 0.8),
+    "traffic-heavy (0.2,2,2) f=0.8": (ObjectiveWeights(0.2, 2.0, 2.0), 0.8),
+    "no-util (0,2,1) f=0.8": (ObjectiveWeights(0.0, 2.0, 1.0), 0.8),
+}
+
+
+def geomean(values):
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def main() -> None:
+    arch = simba_like()
+    cost_model = CostModel(arch)
+    layers = [layer_from_name(name) for name in SAMPLE_LAYERS]
+
+    random_lat = {}
+    hybrid_lat = {}
+    rand = RandomScheduler(arch, seed=1)
+    hybrid = TimeloopHybridScheduler(arch, num_threads=2, termination_condition=64,
+                                     max_evaluations=800, seed=1)
+    for layer in layers:
+        random_lat[layer.name] = rand.schedule(layer).cost.latency
+        hybrid_lat[layer.name] = hybrid.schedule(layer).cost.latency
+
+    print("layer baselines (latency):")
+    for layer in layers:
+        print(f"  {layer.name:18s} random={random_lat[layer.name]:.3e} hybrid={hybrid_lat[layer.name]:.3e}")
+
+    for label, (weights, fraction) in WEIGHT_SETS.items():
+        scheduler = CoSAScheduler(arch, weights=weights, capacity_fraction=fraction)
+        ratios_r, ratios_h, times, invalid = [], [], [], 0
+        for layer in layers:
+            start = time.perf_counter()
+            result = scheduler.schedule(layer)
+            times.append(time.perf_counter() - start)
+            cost = cost_model.evaluate(result.mapping)
+            if not cost.valid:
+                invalid += 1
+                continue
+            ratios_r.append(random_lat[layer.name] / cost.latency)
+            ratios_h.append(hybrid_lat[layer.name] / cost.latency)
+        print(
+            f"{label:32s} speedup-vs-random={geomean(ratios_r):5.2f} "
+            f"speedup-vs-hybrid={geomean(ratios_h):5.2f} "
+            f"avg-solve={sum(times)/len(times):5.1f}s invalid={invalid}"
+        )
+
+
+if __name__ == "__main__":
+    main()

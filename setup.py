@@ -1,0 +1,11 @@
+"""Setup shim.
+
+The project metadata lives in ``pyproject.toml``; this file only exists so
+that ``pip install -e .`` works on environments whose setuptools/pip cannot
+build PEP 660 editable wheels (e.g. offline machines without the ``wheel``
+package).
+"""
+
+from setuptools import setup
+
+setup()

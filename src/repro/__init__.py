@@ -1,0 +1,55 @@
+"""Reproduction of *CoSA: Scheduling by Constrained Optimization for Spatial
+Accelerators* (ISCA 2021).
+
+The package is organised around the paper's pipeline:
+
+* :mod:`repro.workloads` — DNN layers and the evaluated networks,
+* :mod:`repro.arch` — spatial accelerator descriptions (Simba-like baseline,
+  Fig. 9 variants, K80-like GPU),
+* :mod:`repro.mapping` — the schedule IR (tiling, permutation, spatial
+  mapping),
+* :mod:`repro.solver` — the mixed-integer-programming substrate,
+* :mod:`repro.core` — the CoSA scheduler itself (the paper's contribution),
+* :mod:`repro.model` — the Timeloop-like analytical performance/energy model,
+* :mod:`repro.noc` — the transaction-level NoC simulator,
+* :mod:`repro.baselines` — Random search and the Timeloop-Hybrid-style mapper,
+* :mod:`repro.experiments` — harnesses regenerating every table and figure.
+
+Quickstart::
+
+    from repro import CoSAScheduler, simba_like, layer_from_name
+    from repro.model import CostModel
+
+    arch = simba_like()
+    layer = layer_from_name("3_7_512_512_1")
+    mapping = CoSAScheduler(arch).schedule(layer).mapping
+    print(CostModel(arch).evaluate(mapping).latency)
+"""
+
+from repro.arch import Accelerator, simba_like, pe_array_8x8, large_buffers
+from repro.workloads import Layer, layer_from_name, workload_suite
+from repro.mapping import Mapping
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Accelerator",
+    "simba_like",
+    "pe_array_8x8",
+    "large_buffers",
+    "Layer",
+    "layer_from_name",
+    "workload_suite",
+    "Mapping",
+    "CoSAScheduler",
+    "__version__",
+]
+
+
+def __getattr__(name: str):
+    """Lazily expose the scheduler to avoid importing scipy at package import time."""
+    if name == "CoSAScheduler":
+        from repro.core.scheduler import CoSAScheduler
+
+        return CoSAScheduler
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")

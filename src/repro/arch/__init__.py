@@ -1,0 +1,39 @@
+"""Accelerator architecture description.
+
+This subpackage models the hardware side of the scheduling problem: a spatial
+array of processing elements (PEs), a multi-level software-managed memory
+hierarchy, an on-chip network, and an energy table.  The baseline
+configuration replicates the Simba-like accelerator of Table V of the paper;
+:mod:`repro.arch.presets` also provides the two scaled variants used in
+Fig. 9 (8x8 PE array and enlarged buffers) and the K80-like GPU target of
+Sec. V-D.
+"""
+
+from repro.arch.memory import MemoryLevel, MemoryHierarchy
+from repro.arch.spatial import PEArraySpec, NoCSpec
+from repro.arch.energy import EnergyTable
+from repro.arch.accelerator import Accelerator, Precision
+from repro.arch.gpu import GPUSpec
+from repro.arch.presets import (
+    simba_like,
+    pe_array_8x8,
+    large_buffers,
+    k80_like_gpu,
+    architecture_presets,
+)
+
+__all__ = [
+    "MemoryLevel",
+    "MemoryHierarchy",
+    "PEArraySpec",
+    "NoCSpec",
+    "EnergyTable",
+    "Accelerator",
+    "Precision",
+    "GPUSpec",
+    "simba_like",
+    "pe_array_8x8",
+    "large_buffers",
+    "k80_like_gpu",
+    "architecture_presets",
+]

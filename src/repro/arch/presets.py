@@ -1,0 +1,145 @@
+"""Ready-made accelerator configurations used in the paper's evaluation.
+
+* :func:`simba_like` — the baseline architecture of Table V (4x4 PE mesh,
+  64 MACs/PE, 64 B registers, 3 KB accumulation buffer, 32 KB weight buffer,
+  8 KB input buffer per PE, 128 KB shared global buffer).
+* :func:`pe_array_8x8` — the Fig. 9a variant: 4x the PEs with 2x on-chip and
+  DRAM bandwidth.
+* :func:`large_buffers` — the Fig. 9b variant: per-PE buffers doubled and the
+  global buffer enlarged 8x.
+* :func:`k80_like_gpu` — the GPU target of Sec. V-D.
+"""
+
+from __future__ import annotations
+
+from repro.arch.accelerator import Accelerator, Precision
+from repro.arch.energy import EnergyTable
+from repro.arch.gpu import GPUSpec
+from repro.arch.memory import MemoryHierarchy, MemoryLevel
+from repro.arch.spatial import NoCSpec, PEArraySpec
+from repro.workloads.layer import TensorKind
+
+_KB = 1024
+
+
+def _simba_hierarchy(
+    num_pes: int,
+    macs_per_pe: int,
+    accum_kb: float = 3.0,
+    weight_kb: float = 32.0,
+    input_kb: float = 8.0,
+    global_kb: float = 128.0,
+    register_bytes: int = 64,
+) -> MemoryHierarchy:
+    """Build the Simba-like six-level hierarchy of Table V / Table IV(B)."""
+    return MemoryHierarchy(
+        [
+            MemoryLevel(
+                # Weight registers next to the MAC lanes (64 B per PE holds one
+                # 8-bit weight per lane), as in the Simba PE datapath.
+                name="Registers",
+                capacity_bytes=register_bytes,
+                tensors=frozenset({TensorKind.WEIGHT}),
+                spatial_fanout=macs_per_pe,
+                bandwidth_words_per_cycle=float(macs_per_pe),
+            ),
+            MemoryLevel(
+                name="AccumulationBuffer",
+                capacity_bytes=int(accum_kb * _KB),
+                tensors=frozenset({TensorKind.OUTPUT}),
+                spatial_fanout=1,
+                bandwidth_words_per_cycle=16.0,
+            ),
+            MemoryLevel(
+                name="WeightBuffer",
+                capacity_bytes=int(weight_kb * _KB),
+                tensors=frozenset({TensorKind.WEIGHT}),
+                spatial_fanout=1,
+                bandwidth_words_per_cycle=16.0,
+            ),
+            MemoryLevel(
+                name="InputBuffer",
+                capacity_bytes=int(input_kb * _KB),
+                tensors=frozenset({TensorKind.INPUT}),
+                spatial_fanout=1,
+                bandwidth_words_per_cycle=16.0,
+            ),
+            MemoryLevel(
+                name="GlobalBuffer",
+                capacity_bytes=int(global_kb * _KB),
+                tensors=frozenset({TensorKind.INPUT, TensorKind.OUTPUT}),
+                spatial_fanout=num_pes,
+                bandwidth_words_per_cycle=32.0,
+            ),
+            MemoryLevel(
+                name="DRAM",
+                capacity_bytes=None,
+                tensors=frozenset({TensorKind.WEIGHT, TensorKind.INPUT, TensorKind.OUTPUT}),
+                spatial_fanout=1,
+                bandwidth_words_per_cycle=8.0,
+            ),
+        ]
+    )
+
+
+def simba_like(rows: int = 4, cols: int = 4) -> Accelerator:
+    """The baseline DNN accelerator of Table V (default 4x4 PE mesh)."""
+    pe_array = PEArraySpec(rows=rows, cols=cols, macs_per_pe=64)
+    hierarchy = _simba_hierarchy(num_pes=pe_array.num_pes, macs_per_pe=pe_array.macs_per_pe)
+    return Accelerator(
+        name=f"simba-{rows}x{cols}",
+        hierarchy=hierarchy,
+        pe_array=pe_array,
+        noc=NoCSpec(),
+        precision=Precision(weight_bytes=1, input_bytes=1, output_bytes=3),
+        energy=EnergyTable(),
+    )
+
+
+def pe_array_8x8() -> Accelerator:
+    """Fig. 9a variant: 8x8 PEs with 2x on-chip and DRAM bandwidth."""
+    pe_array = PEArraySpec(rows=8, cols=8, macs_per_pe=64)
+    hierarchy = _simba_hierarchy(num_pes=pe_array.num_pes, macs_per_pe=pe_array.macs_per_pe)
+    return Accelerator(
+        name="simba-8x8",
+        hierarchy=hierarchy,
+        pe_array=pe_array,
+        noc=NoCSpec().scaled_bandwidth(2.0),
+        precision=Precision(weight_bytes=1, input_bytes=1, output_bytes=3),
+        energy=EnergyTable(),
+    )
+
+
+def large_buffers() -> Accelerator:
+    """Fig. 9b variant: per-PE buffers doubled, global buffer enlarged 8x."""
+    pe_array = PEArraySpec(rows=4, cols=4, macs_per_pe=64)
+    hierarchy = _simba_hierarchy(
+        num_pes=pe_array.num_pes,
+        macs_per_pe=pe_array.macs_per_pe,
+        accum_kb=6.0,
+        weight_kb=64.0,
+        input_kb=16.0,
+        global_kb=1024.0,
+    )
+    return Accelerator(
+        name="simba-4x4-large-buffers",
+        hierarchy=hierarchy,
+        pe_array=pe_array,
+        noc=NoCSpec(),
+        precision=Precision(weight_bytes=1, input_bytes=1, output_bytes=3),
+        energy=EnergyTable(),
+    )
+
+
+def k80_like_gpu() -> GPUSpec:
+    """The NVIDIA K80-like GPU target used in Sec. V-D."""
+    return GPUSpec()
+
+
+def architecture_presets() -> dict[str, Accelerator]:
+    """All spatial-accelerator presets keyed by the name used in reports."""
+    return {
+        "baseline-4x4": simba_like(),
+        "pe-8x8": pe_array_8x8(),
+        "large-buffers": large_buffers(),
+    }

@@ -1,0 +1,26 @@
+"""Baseline schedulers the paper compares CoSA against.
+
+* :class:`~repro.baselines.random_search.RandomScheduler` — draws random
+  mappings until a handful of valid ones are found and keeps the best
+  (the paper's "Random (5x)" baseline),
+* :class:`~repro.baselines.timeloop_hybrid.TimeloopHybridScheduler` — a
+  re-implementation of Timeloop's hybrid mapper: random tiling
+  factorisations, pruned permutation sweeps, per-thread termination after a
+  run of valid-but-not-better mappings,
+* :class:`~repro.baselines.tvm_like.TVMLikeTuner` — an iterative
+  feedback-driven tuner standing in for TVM's XGBoost tuner in the GPU
+  experiment (Sec. V-D).
+"""
+
+from repro.baselines.base import SearchResult, SearchScheduler
+from repro.baselines.random_search import RandomScheduler
+from repro.baselines.timeloop_hybrid import TimeloopHybridScheduler
+from repro.baselines.tvm_like import TVMLikeTuner
+
+__all__ = [
+    "SearchResult",
+    "SearchScheduler",
+    "RandomScheduler",
+    "TimeloopHybridScheduler",
+    "TVMLikeTuner",
+]

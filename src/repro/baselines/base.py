@@ -1,0 +1,62 @@
+"""Shared machinery of the search-based baseline schedulers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.mapping.mapping import Mapping
+from repro.model.cost import CostResult
+
+
+@dataclass
+class SearchResult:
+    """Outcome of one baseline search on one layer.
+
+    Attributes
+    ----------
+    mapping:
+        Best valid mapping found (``None`` when the search found no valid
+        mapping within its budget).
+    cost:
+        Cost of the best mapping under the optimisation metric's model.
+    num_sampled:
+        Mappings drawn/generated (the paper's "samples per layer").
+    num_evaluated:
+        Valid mappings that were fully evaluated (the paper's
+        "evaluations per layer").
+    elapsed_seconds:
+        Wall-clock search time (time-to-solution).
+    """
+
+    mapping: Mapping | None
+    cost: CostResult | None
+    num_sampled: int = 0
+    num_evaluated: int = 0
+    elapsed_seconds: float = 0.0
+
+    @property
+    def succeeded(self) -> bool:
+        """True when a valid mapping was found."""
+        return self.mapping is not None and self.cost is not None and self.cost.valid
+
+
+class SearchScheduler:
+    """Base class holding the optimisation metric shared by the baselines."""
+
+    #: Supported optimisation metrics.
+    METRICS = ("latency", "energy", "edp")
+
+    def __init__(self, metric: str = "latency"):
+        if metric not in self.METRICS:
+            raise ValueError(f"unknown metric {metric!r}; expected one of {self.METRICS}")
+        self.metric = metric
+
+    def score(self, cost: CostResult) -> float:
+        """Scalar to minimise for a cost result (``inf`` for invalid mappings)."""
+        if not cost.valid:
+            return float("inf")
+        if self.metric == "latency":
+            return cost.latency
+        if self.metric == "energy":
+            return cost.energy
+        return cost.edp

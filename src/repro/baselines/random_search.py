@@ -1,0 +1,85 @@
+"""Random-search baseline ("Random (5x)" in the paper).
+
+The paper's Random scheduler draws random points of the scheduling space
+until five valid schedules have been found (20 K draws yielded only five
+valid ones in their measurement) and keeps the best of those five under the
+target metric.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+
+from repro.arch.accelerator import Accelerator
+from repro.baselines.base import SearchResult, SearchScheduler
+from repro.mapping.space import MapSpace
+from repro.model.cost import CostModel
+from repro.workloads.layer import Layer
+
+
+class RandomScheduler(SearchScheduler):
+    """Best-of-N random valid schedules.
+
+    Parameters
+    ----------
+    accelerator:
+        Target architecture.
+    num_valid:
+        How many valid schedules to collect before stopping (5 in the paper).
+    max_attempts:
+        Upper bound on random draws per layer.
+    metric:
+        ``"latency"``, ``"energy"`` or ``"edp"``.
+    seed:
+        Base seed; each layer perturbs it with its own hash so results are
+        deterministic but layers are decorrelated.
+    """
+
+    def __init__(
+        self,
+        accelerator: Accelerator,
+        num_valid: int = 5,
+        max_attempts: int = 20_000,
+        metric: str = "latency",
+        seed: int = 0,
+    ):
+        super().__init__(metric)
+        self.accelerator = accelerator
+        self.num_valid = num_valid
+        self.max_attempts = max_attempts
+        self.seed = seed
+        self._cost_model = CostModel(accelerator)
+
+    def schedule(self, layer: Layer) -> SearchResult:
+        """Search for the best of ``num_valid`` random valid schedules of ``layer``."""
+        start = time.perf_counter()
+        rng = random.Random((self.seed, layer.canonical_name).__hash__() & 0xFFFFFFFF)
+        space = MapSpace(layer, self.accelerator)
+
+        best_mapping = None
+        best_cost = None
+        best_score = float("inf")
+        sampled = 0
+        evaluated = 0
+        while evaluated < self.num_valid and sampled < self.max_attempts:
+            mapping = space.random_mapping(rng)
+            sampled += 1
+            cost = self._cost_model.evaluate(mapping)
+            if not cost.valid:
+                continue
+            evaluated += 1
+            score = self.score(cost)
+            if score < best_score:
+                best_mapping, best_cost, best_score = mapping, cost, score
+        return SearchResult(
+            mapping=best_mapping,
+            cost=best_cost,
+            num_sampled=sampled,
+            num_evaluated=evaluated,
+            elapsed_seconds=time.perf_counter() - start,
+        )
+
+    def schedule_network(self, layers) -> list[SearchResult]:
+        """Schedule every layer of a network independently."""
+        return [self.schedule(layer) for layer in layers]

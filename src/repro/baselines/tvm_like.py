@@ -1,0 +1,159 @@
+"""TVM-like iterative tuner (baseline of the GPU experiment, Sec. V-D).
+
+The paper compares CoSA-GPU against TVM's XGBoost tuner running 50
+measurement trials per layer.  Hardware measurements are unavailable here
+(documented substitution), so both sides are evaluated on the same
+analytical cost model; this tuner reproduces the *search behaviour* of a
+feedback-driven autotuner: it alternates exploration (random candidates)
+with exploitation (mutations of the best schedules found so far), spending a
+fixed number of "measurement" trials, each of which evaluates a small batch
+of candidates.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+
+from repro.arch.accelerator import Accelerator
+from repro.baselines.base import SearchResult, SearchScheduler
+from repro.mapping.mapping import LevelMapping, Loop, Mapping
+from repro.mapping.space import MapSpace
+from repro.model.cost import CostModel
+from repro.workloads.layer import Layer
+
+
+class TVMLikeTuner(SearchScheduler):
+    """Feedback-driven autotuner in the style of AutoTVM.
+
+    Parameters
+    ----------
+    accelerator:
+        Target (typically the GPU-as-accelerator description).
+    trials:
+        Number of measurement trials (50 in the paper's TVM baseline).
+    batch_size:
+        Candidates evaluated per trial.
+    exploration:
+        Fraction of each batch drawn at random instead of mutated from the
+        incumbent population.
+    metric:
+        ``"latency"``, ``"energy"`` or ``"edp"``.
+    seed:
+        Base random seed.
+    """
+
+    def __init__(
+        self,
+        accelerator: Accelerator,
+        trials: int = 50,
+        batch_size: int = 8,
+        exploration: float = 0.3,
+        metric: str = "latency",
+        seed: int = 0,
+    ):
+        super().__init__(metric)
+        if trials < 1 or batch_size < 1:
+            raise ValueError("trials and batch_size must be positive")
+        if not 0.0 <= exploration <= 1.0:
+            raise ValueError("exploration must be within [0, 1]")
+        self.accelerator = accelerator
+        self.trials = trials
+        self.batch_size = batch_size
+        self.exploration = exploration
+        self.seed = seed
+        self._cost_model = CostModel(accelerator)
+
+    def schedule(self, layer: Layer) -> SearchResult:
+        """Tune ``layer`` for ``trials`` measurement rounds and return the best mapping."""
+        start = time.perf_counter()
+        rng = random.Random((self.seed, layer.canonical_name).__hash__() & 0xFFFFFFFF)
+        space = MapSpace(layer, self.accelerator)
+
+        population: list[tuple[float, Mapping]] = []
+        best_mapping = None
+        best_cost = None
+        best_score = float("inf")
+        sampled = 0
+        evaluated = 0
+
+        for _ in range(self.trials):
+            batch: list[Mapping] = []
+            for _ in range(self.batch_size):
+                if population and rng.random() > self.exploration:
+                    _, parent = population[rng.randrange(min(len(population), 4))]
+                    batch.append(self._mutate(parent, space, rng))
+                else:
+                    batch.append(space.random_mapping(rng))
+            for candidate in batch:
+                sampled += 1
+                cost = self._cost_model.evaluate(candidate)
+                if not cost.valid:
+                    continue
+                evaluated += 1
+                score = self.score(cost)
+                population.append((score, candidate))
+                if score < best_score:
+                    best_mapping, best_cost, best_score = candidate, cost, score
+            population.sort(key=lambda item: item[0])
+            del population[16:]
+
+        return SearchResult(
+            mapping=best_mapping,
+            cost=best_cost,
+            num_sampled=sampled,
+            num_evaluated=evaluated,
+            elapsed_seconds=time.perf_counter() - start,
+        )
+
+    def schedule_network(self, layers) -> list[SearchResult]:
+        """Tune every layer of a network independently."""
+        return [self.schedule(layer) for layer in layers]
+
+    # ---------------------------------------------------------------- mutation
+    def _mutate(self, mapping: Mapping, space: MapSpace, rng: random.Random) -> Mapping:
+        """Local perturbation: move one prime factor to a different level or
+        shuffle one level's loop order."""
+        if rng.random() < 0.5:
+            return self._shuffle_level(mapping, rng)
+        return self._move_factor(mapping, space, rng)
+
+    @staticmethod
+    def _shuffle_level(mapping: Mapping, rng: random.Random) -> Mapping:
+        levels = [
+            LevelMapping(temporal=list(l.temporal), spatial=list(l.spatial))
+            for l in mapping.levels
+        ]
+        candidates = [i for i, l in enumerate(levels) if len(l.temporal) > 1]
+        if candidates:
+            index = rng.choice(candidates)
+            rng.shuffle(levels[index].temporal)
+        return Mapping(mapping.layer, levels)
+
+    @staticmethod
+    def _move_factor(mapping: Mapping, space: MapSpace, rng: random.Random) -> Mapping:
+        levels = [
+            LevelMapping(temporal=list(l.temporal), spatial=list(l.spatial))
+            for l in mapping.levels
+        ]
+        sources = [
+            (i, j)
+            for i, level in enumerate(levels)
+            for j, loop in enumerate(level.temporal)
+            if loop.bound > 1
+        ]
+        if not sources:
+            return Mapping(mapping.layer, levels)
+        level_index, loop_index = rng.choice(sources)
+        loop = levels[level_index].temporal.pop(loop_index)
+        # Split off one prime factor of the loop and move it elsewhere.
+        from repro.workloads.prime import factorize
+
+        primes = factorize(loop.bound)
+        moved = rng.choice(primes)
+        remaining = loop.bound // moved
+        if remaining > 1:
+            levels[level_index].temporal.insert(loop_index, Loop(loop.dim, remaining))
+        target = rng.randrange(len(levels))
+        levels[target].temporal.append(Loop(loop.dim, moved))
+        return Mapping(mapping.layer, levels)

@@ -1,0 +1,114 @@
+"""Command-line interface.
+
+Schedule a layer from the shell and inspect the result without writing any
+Python::
+
+    python -m repro.cli schedule 3_7_512_512_1                 # CoSA, baseline arch
+    python -m repro.cli schedule 3_7_512_512_1 --arch pe-8x8   # Fig. 9a variant
+    python -m repro.cli schedule 3_7_512_512_1 --scheduler hybrid --platform noc
+    python -m repro.cli networks                                # list evaluated workloads
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.arch import architecture_presets
+from repro.baselines import RandomScheduler, TimeloopHybridScheduler
+from repro.core import CoSAScheduler
+from repro.mapping import render_loop_nest
+from repro.mapping.serialize import save_mapping
+from repro.model import CostModel
+from repro.noc import NoCSimulator
+from repro.workloads import layer_from_name, workload_suite
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    schedule = sub.add_parser("schedule", help="schedule one layer and report its cost")
+    schedule.add_argument("layer", help="layer in R_P_C_K_Stride form, e.g. 3_7_512_512_1")
+    schedule.add_argument("--arch", default="baseline-4x4", choices=sorted(architecture_presets()))
+    schedule.add_argument(
+        "--scheduler", default="cosa", choices=("cosa", "random", "hybrid"),
+        help="which scheduler generates the mapping",
+    )
+    schedule.add_argument(
+        "--platform", default="timeloop", choices=("timeloop", "noc"),
+        help="evaluation platform for the resulting schedule",
+    )
+    schedule.add_argument("--batch", type=int, default=1, help="batch size N")
+    schedule.add_argument("--save", metavar="FILE", help="write the mapping to a JSON file")
+
+    sub.add_parser("networks", help="list the evaluated DNN workloads and their layers")
+    sub.add_parser("archs", help="list the available architecture presets")
+    return parser
+
+
+def _schedule(args) -> int:
+    accelerator = architecture_presets()[args.arch]
+    layer = layer_from_name(args.layer, batch=args.batch)
+
+    if args.scheduler == "cosa":
+        result = CoSAScheduler(accelerator).schedule(layer)
+        mapping = result.mapping
+        print(f"CoSA solve: {result.solution.status.value} in {result.solve_time_seconds:.1f}s")
+    elif args.scheduler == "random":
+        search = RandomScheduler(accelerator).schedule(layer)
+        mapping = search.mapping
+        print(f"Random search: {search.num_sampled} samples, {search.num_evaluated} valid")
+    else:
+        search = TimeloopHybridScheduler(accelerator).schedule(layer)
+        mapping = search.mapping
+        print(f"Hybrid search: {search.num_evaluated} valid mappings evaluated")
+
+    if mapping is None:
+        print("no valid schedule found", file=sys.stderr)
+        return 1
+
+    print()
+    print(render_loop_nest(mapping, level_names=list(accelerator.hierarchy.names)))
+    print()
+    cost = CostModel(accelerator).evaluate(mapping)
+    print(f"analytical latency: {cost.latency / 1e6:.3f} MCycles "
+          f"(bound by {cost.latency_breakdown.bound_by})")
+    print(f"analytical energy : {cost.energy / 1e6:.3f} uJ")
+    if args.platform == "noc":
+        noc = NoCSimulator(accelerator).simulate(mapping)
+        print(f"NoC-simulated latency: {noc.latency / 1e6:.3f} MCycles (bound by {noc.bound_by})")
+    if args.save:
+        path = save_mapping(mapping, args.save)
+        print(f"mapping written to {path}")
+    return 0
+
+
+def _networks() -> int:
+    for name, layers in workload_suite().items():
+        print(f"{name} ({len(layers)} layers)")
+        for layer in layers:
+            print(f"  {layer.canonical_name}")
+    return 0
+
+
+def _archs() -> int:
+    for name, accelerator in architecture_presets().items():
+        print(f"[{name}]")
+        print(accelerator.describe())
+        print()
+    return 0
+
+
+def main(argv=None) -> int:
+    """CLI entry point (returns the process exit code)."""
+    args = _build_parser().parse_args(argv)
+    if args.command == "schedule":
+        return _schedule(args)
+    if args.command == "networks":
+        return _networks()
+    return _archs()
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

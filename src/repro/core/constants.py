@@ -1,0 +1,45 @@
+"""Constant matrices of the CoSA formulation (Table IV of the paper).
+
+* ``A`` — layer-dimension x data-tensor relevance: ``A[j, v] = 1`` when loop
+  dimension ``j`` indexes tensor ``v``.  Shared with the cost model through
+  :data:`repro.workloads.layer.RELEVANCE`.
+* ``B`` — memory-level x data-tensor storage: ``B[i, v] = 1`` when memory
+  level ``i`` of the target accelerator may hold tensor ``v``.  Derived from
+  the accelerator's :class:`~repro.arch.memory.MemoryHierarchy`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.arch.accelerator import Accelerator
+from repro.workloads.layer import DIMENSION_NAMES, RELEVANCE, TensorKind
+
+
+def relevance_matrix() -> np.ndarray:
+    """The 7x3 dimension-to-tensor relevance matrix ``A`` (rows follow R,S,P,Q,C,K,N)."""
+    matrix = np.zeros((len(DIMENSION_NAMES), len(TensorKind)), dtype=int)
+    for j, dim in enumerate(DIMENSION_NAMES):
+        for tensor in TensorKind:
+            matrix[j, tensor.value] = RELEVANCE[dim][tensor]
+    return matrix
+
+
+def storage_matrix(accelerator: Accelerator) -> np.ndarray:
+    """The (num levels)x3 memory-to-tensor storage matrix ``B`` for ``accelerator``."""
+    hierarchy = accelerator.hierarchy
+    matrix = np.zeros((len(hierarchy), len(TensorKind)), dtype=int)
+    for i, level in enumerate(hierarchy):
+        for tensor in TensorKind:
+            matrix[i, tensor.value] = int(level.holds(tensor))
+    return matrix
+
+
+def is_relevant(dim: str, tensor: TensorKind) -> bool:
+    """``A[dim, tensor]`` as a boolean."""
+    return bool(RELEVANCE[dim][tensor])
+
+
+def relevant_dims(tensor: TensorKind) -> tuple[str, ...]:
+    """Dimensions indexing ``tensor`` (non-zero rows of column ``tensor`` of ``A``)."""
+    return tuple(dim for dim in DIMENSION_NAMES if RELEVANCE[dim][tensor])

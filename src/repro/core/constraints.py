@@ -1,0 +1,213 @@
+"""Constraints of the CoSA MIP (Sec. III-C of the paper).
+
+Five groups:
+
+* **assignment** — every prime factor occupies exactly one (level, kind)
+  slot (the intent of Eq. 3),
+* **spatial resources** — the product of the factors mapped spatially at a
+  level may not exceed its fanout (Eq. 4, in logarithms),
+* **buffer capacity** — the per-tensor tile built from the factors below a
+  buffer (plus the spatial factors at the buffer itself) must fit in the
+  share of the buffer reserved for that tensor (Eq. 2, in logarithms),
+* **permutation / traffic linking** — dimensions owning NoC-boundary
+  temporal factors take exactly one permutation rank, ranks hold at most one
+  dimension and are used contiguously; the running-OR variables ``Y`` obey
+  Eq. 9 and the per-(tensor, dimension) contributions linearise the
+  traffic-iteration term of Eq. 10,
+* **symmetry breaking** — interchangeable prime factors (same dimension and
+  value) are forced into a canonical order, which shrinks the
+  branch-and-bound tree without excluding any distinct schedule.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.constants import is_relevant
+from repro.core.variables import CoSAVariables
+from repro.solver.expr import lin_sum
+from repro.solver.model import MIPModel
+from repro.workloads.layer import TensorKind
+
+
+def add_assignment_constraints(model: MIPModel, variables: CoSAVariables) -> None:
+    """Each prime factor is assigned to exactly one (memory level, kind) slot."""
+    for factor in variables.factors:
+        model.add_constraint(
+            lin_sum(variables.assignment_vars(factor)) == 1,
+            name=f"assign[{factor.dim}{factor.ordinal}]",
+        )
+
+
+def add_spatial_resource_constraints(model: MIPModel, variables: CoSAVariables) -> None:
+    """Spatially-mapped factors must fit in each level's fanout (Eq. 4)."""
+    for level, fanout in variables.spatial_fanouts.items():
+        terms = []
+        for factor in variables.factors:
+            var = variables.spatial_at(factor, level)
+            if var is not None:
+                terms.append(factor.log_value * var)
+        if terms:
+            model.add_constraint(
+                lin_sum(terms) <= math.log(fanout),
+                name=f"spatial_capacity[L{level}]",
+            )
+
+
+def add_buffer_capacity_constraints(
+    model: MIPModel,
+    variables: CoSAVariables,
+    capacity_fraction: float = 1.0,
+) -> None:
+    """Tiles must fit in every bounded buffer level (Eq. 2).
+
+    The tile of tensor ``v`` at level ``I`` is the product of the relevant
+    factors assigned to levels below ``I`` (either kind) plus the relevant
+    spatial factors at ``I`` itself.  Shared buffers are split equally
+    between the tensors they store (the log transform cannot express a sum
+    of tensor footprints); ``capacity_fraction`` additionally derates every
+    capacity to absorb the input-halo growth the log model cannot see.
+    """
+    accelerator = variables.accelerator
+    for level_index, level in enumerate(accelerator.hierarchy):
+        if level.is_unbounded:
+            continue
+        stored = [tensor for tensor in TensorKind if level.holds(tensor)]
+        if not stored:
+            continue
+        for tensor in stored:
+            # The derating only needs to cover effects the log model cannot
+            # express: footprints sharing one buffer and the input halo.  A
+            # buffer dedicated to a halo-free tensor can be filled exactly.
+            needs_derating = len(stored) > 1 or tensor is TensorKind.INPUT
+            share = (capacity_fraction if needs_derating else 1.0) / len(stored)
+            capacity_words = level.capacity_bytes * share / accelerator.precision.bytes_for(tensor)
+            if capacity_words < 1.0:
+                capacity_words = 1.0
+            terms = []
+            for factor in variables.factors:
+                if not is_relevant(factor.dim, tensor):
+                    continue
+                for below in range(level_index):
+                    if below in variables.temporal_levels:
+                        terms.append(factor.log_value * variables.temporal_at(factor, below))
+                    spatial_below = variables.spatial_at(factor, below)
+                    if spatial_below is not None:
+                        terms.append(factor.log_value * spatial_below)
+                spatial_here = variables.spatial_at(factor, level_index)
+                if spatial_here is not None:
+                    terms.append(factor.log_value * spatial_here)
+            if terms:
+                model.add_constraint(
+                    lin_sum(terms) <= math.log(capacity_words),
+                    name=f"buffer[{level.name},{tensor.short_name}]",
+                )
+
+
+def add_permutation_constraints(model: MIPModel, variables: CoSAVariables) -> None:
+    """Dimension-level permutation ranks at the NoC boundary.
+
+    A dimension takes exactly one rank slot if and only if it owns at least
+    one temporal factor at the NoC boundary; each slot holds at most one
+    dimension and slots are used contiguously from the innermost outward.
+    """
+    noc_level = variables.noc_level
+    for dim in variables.active_dims:
+        rank_sum = lin_sum(
+            variables.rank[(dim, slot)] for slot in range(variables.num_ranks)
+        )
+        outer_factors = [
+            variables.temporal_at(factor, noc_level) for factor in variables.factors_of_dim(dim)
+        ]
+        model.add_constraint(rank_sum <= 1, name=f"one_rank[{dim}]")
+        model.add_constraint(
+            rank_sum <= lin_sum(outer_factors), name=f"rank_only_if_outer[{dim}]"
+        )
+        for outer in outer_factors:
+            model.add_constraint(rank_sum >= outer.to_expr(), name=f"rank_if_outer[{dim}]")
+
+    slot_occupancy = [
+        lin_sum(variables.rank[(dim, slot)] for dim in variables.active_dims)
+        for slot in range(variables.num_ranks)
+    ]
+    for slot, occupancy in enumerate(slot_occupancy):
+        model.add_constraint(occupancy <= 1, name=f"one_dim_per_rank[z{slot}]")
+        if slot > 0:
+            model.add_constraint(
+                slot_occupancy[slot - 1] >= occupancy, name=f"contiguous_ranks[z{slot}]"
+            )
+
+
+def add_traffic_linking_constraints(model: MIPModel, variables: CoSAVariables) -> None:
+    """Auxiliary variables of the traffic-iteration term (Eq. 9 / Eq. 10).
+
+    ``Y[v, z]`` is forced to 1 as soon as a dimension relevant to tensor
+    ``v`` occupies rank ``z`` or any rank inside it.  ``G[v, d]`` is forced
+    to 1 when dimension ``d`` sits at-or-outside the innermost ``v``-relevant
+    rank, and the continuous contribution ``T[v, d]`` is then pushed up to
+    the log of the dimension's NoC-boundary loop bound (lower McCormick
+    envelope; the upper half is unnecessary because the objective minimises
+    the contributions).
+    """
+    for tensor in TensorKind:
+        for slot in range(variables.num_ranks):
+            relevant_here = lin_sum(
+                variables.rank[(dim, slot)]
+                for dim in variables.active_dims
+                if is_relevant(dim, tensor)
+            )
+            model.add_constraint(
+                variables.y[(tensor, slot)] >= relevant_here,
+                name=f"y_lower[{tensor.short_name},z{slot}]",
+            )
+            if slot > 0:
+                model.add_constraint(
+                    variables.y[(tensor, slot)] >= variables.y[(tensor, slot - 1)],
+                    name=f"y_monotone[{tensor.short_name},z{slot}]",
+                )
+        for dim in variables.active_dims:
+            outside = variables.outside[(tensor, dim)]
+            for slot in range(variables.num_ranks):
+                model.add_constraint(
+                    outside
+                    >= variables.rank[(dim, slot)] + variables.y[(tensor, slot)] - 1,
+                    name=f"outside[{tensor.short_name},{dim},z{slot}]",
+                )
+            big_m = max(variables.dim_log_bound[dim], 1e-9)
+            model.add_constraint(
+                variables.traffic_term[(tensor, dim)]
+                >= variables.outer_log_expression(dim) - big_m * (1 - outside),
+                name=f"traffic_term[{tensor.short_name},{dim}]",
+            )
+
+
+def add_symmetry_breaking_constraints(model: MIPModel, variables: CoSAVariables) -> None:
+    """Order interchangeable prime factors canonically.
+
+    Two factors with the same dimension and the same prime value produce
+    identical schedules under exchange; forcing their slot codes to be
+    non-decreasing along the run eliminates the duplicated branches without
+    excluding any distinct schedule.
+    """
+    for run in variables.identical_factor_runs():
+        for first, second in zip(run, run[1:]):
+            first_code = lin_sum(code * var for code, var in variables.slot_catalogue(first))
+            second_code = lin_sum(code * var for code, var in variables.slot_catalogue(second))
+            model.add_constraint(
+                first_code <= second_code,
+                name=f"sym_slot[{first.dim}{first.ordinal}<={second.ordinal}]",
+            )
+
+
+def add_all_constraints(
+    model: MIPModel,
+    variables: CoSAVariables,
+    capacity_fraction: float = 1.0,
+) -> None:
+    """Add every constraint group of the CoSA formulation to ``model``."""
+    add_assignment_constraints(model, variables)
+    add_spatial_resource_constraints(model, variables)
+    add_buffer_capacity_constraints(model, variables, capacity_fraction)
+    add_permutation_constraints(model, variables)
+    add_traffic_linking_constraints(model, variables)
+    add_symmetry_breaking_constraints(model, variables)

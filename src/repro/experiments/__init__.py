@@ -1,0 +1,44 @@
+"""Experiment harnesses regenerating every table and figure of the paper.
+
+Each generator returns plain data structures (rows / series) so it can be
+used programmatically, asserted on in tests, rendered by the benchmark
+harness, or plotted by downstream users.  The mapping from paper artefact to
+generator is:
+
+=======  ==========================================================
+Fig. 1   :func:`~repro.experiments.figures.fig1_latency_histogram`
+Fig. 3   :func:`~repro.experiments.figures.fig3_permutation_sweep`
+Fig. 4   :func:`~repro.experiments.figures.fig4_spatial_sweep`
+Tab. VI  :func:`~repro.experiments.tables.table6_time_to_solution`
+Fig. 6   :func:`~repro.experiments.figures.fig6_timeloop_speedup`
+Fig. 7   :func:`~repro.experiments.figures.fig7_energy_improvement`
+Fig. 8   :func:`~repro.experiments.figures.fig8_objective_breakdown`
+Fig. 9   :func:`~repro.experiments.figures.fig9_architecture_sweep`
+Fig. 10  :func:`~repro.experiments.figures.fig10_noc_speedup`
+Fig. 11  :func:`~repro.experiments.figures.fig11_gpu_comparison`
+=======  ==========================================================
+"""
+
+from repro.experiments.harness import (
+    ComparisonConfig,
+    LayerComparison,
+    SpeedupSummary,
+    compare_on_layer,
+    compare_on_network,
+    geometric_mean,
+)
+from repro.experiments import figures, tables
+from repro.experiments.reporting import format_table, format_speedup_rows
+
+__all__ = [
+    "ComparisonConfig",
+    "LayerComparison",
+    "SpeedupSummary",
+    "compare_on_layer",
+    "compare_on_network",
+    "geometric_mean",
+    "figures",
+    "tables",
+    "format_table",
+    "format_speedup_rows",
+]

@@ -1,0 +1,207 @@
+"""Shared harness: run the three schedulers on layers and compare them.
+
+Every speedup figure of the paper (Figs. 6, 7, 9, 10) has the same shape:
+for each layer, generate a schedule with Random search, the Timeloop-Hybrid
+mapper and CoSA, evaluate all three on one evaluation platform (the
+analytical "Timeloop" model or the NoC simulator) and report per-layer and
+geometric-mean speedups relative to Random.  This module implements that
+pipeline once.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Iterable
+
+from repro.arch.accelerator import Accelerator
+from repro.baselines import RandomScheduler, TimeloopHybridScheduler
+from repro.core.objectives import ObjectiveWeights
+from repro.core.scheduler import CoSAScheduler
+from repro.mapping.mapping import Mapping
+from repro.model.cost import CostModel
+from repro.noc.simulator import NoCSimulator
+from repro.workloads.layer import Layer
+
+
+def geometric_mean(values: Iterable[float]) -> float:
+    """Geometric mean of positive values (0 for an empty input)."""
+    values = [v for v in values if v > 0 and math.isfinite(v)]
+    if not values:
+        return 0.0
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+@dataclass
+class ComparisonConfig:
+    """Configuration of a scheduler comparison run.
+
+    Attributes
+    ----------
+    accelerator:
+        Target architecture.
+    platform:
+        ``"timeloop"`` evaluates latency/energy with the analytical model;
+        ``"noc"`` evaluates latency with the NoC simulator.
+    metric:
+        Search metric for the baselines (``latency`` or ``energy``).
+    cosa_weights:
+        Objective weights handed to CoSA (``None`` = calibrated defaults).
+    hybrid_threads / hybrid_termination / hybrid_max_evaluations:
+        Budget of the Timeloop-Hybrid mapper (scaled-down defaults; see
+        :meth:`~repro.baselines.timeloop_hybrid.TimeloopHybridScheduler.paper_settings`).
+    random_valid:
+        Valid samples collected by the Random baseline (5 in the paper).
+    seed:
+        Base random seed shared by the baselines.
+    """
+
+    accelerator: Accelerator
+    platform: str = "timeloop"
+    metric: str = "latency"
+    cosa_weights: ObjectiveWeights | None = None
+    hybrid_threads: int = 2
+    hybrid_termination: int = 64
+    hybrid_max_evaluations: int = 800
+    random_valid: int = 5
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.platform not in ("timeloop", "noc"):
+            raise ValueError(f"unknown platform {self.platform!r}")
+
+
+@dataclass
+class LayerComparison:
+    """Per-layer result of one comparison run (one bar group of Fig. 6/10)."""
+
+    layer: str
+    random_value: float
+    hybrid_value: float
+    cosa_value: float
+    random_time: float = 0.0
+    hybrid_time: float = 0.0
+    cosa_time: float = 0.0
+    random_samples: int = 0
+    hybrid_samples: int = 0
+    hybrid_evaluations: int = 0
+
+    @property
+    def hybrid_speedup(self) -> float:
+        """Timeloop-Hybrid improvement over Random (the paper's middle bars)."""
+        if self.hybrid_value <= 0:
+            return 0.0
+        return self.random_value / self.hybrid_value
+
+    @property
+    def cosa_speedup(self) -> float:
+        """CoSA improvement over Random (the paper's right bars)."""
+        if self.cosa_value <= 0:
+            return 0.0
+        return self.random_value / self.cosa_value
+
+
+@dataclass
+class SpeedupSummary:
+    """Geometric-mean summary of a set of :class:`LayerComparison` rows."""
+
+    label: str
+    comparisons: list[LayerComparison] = field(default_factory=list)
+
+    @property
+    def hybrid_geomean(self) -> float:
+        return geometric_mean(c.hybrid_speedup for c in self.comparisons)
+
+    @property
+    def cosa_geomean(self) -> float:
+        return geometric_mean(c.cosa_speedup for c in self.comparisons)
+
+    @property
+    def cosa_vs_hybrid(self) -> float:
+        """CoSA speedup relative to Timeloop-Hybrid."""
+        if self.hybrid_geomean <= 0:
+            return 0.0
+        return self.cosa_geomean / self.hybrid_geomean
+
+
+class _Evaluator:
+    """Evaluates mappings on the configured platform and metric."""
+
+    def __init__(self, config: ComparisonConfig):
+        self.config = config
+        self._cost_model = CostModel(config.accelerator)
+        self._noc = NoCSimulator(config.accelerator) if config.platform == "noc" else None
+
+    def __call__(self, mapping: Mapping | None) -> float:
+        if mapping is None:
+            return float("inf")
+        cost = self._cost_model.evaluate(mapping)
+        if not cost.valid:
+            return float("inf")
+        if self.config.platform == "noc":
+            return self._noc.simulate(mapping).latency
+        return cost.energy if self.config.metric == "energy" else cost.latency
+
+
+def build_schedulers(config: ComparisonConfig):
+    """Instantiate the Random, Timeloop-Hybrid and CoSA schedulers of a run."""
+    random_scheduler = RandomScheduler(
+        config.accelerator,
+        num_valid=config.random_valid,
+        metric=config.metric,
+        seed=config.seed,
+    )
+    hybrid_scheduler = TimeloopHybridScheduler(
+        config.accelerator,
+        num_threads=config.hybrid_threads,
+        termination_condition=config.hybrid_termination,
+        max_evaluations=config.hybrid_max_evaluations,
+        metric=config.metric,
+        seed=config.seed,
+    )
+    cosa_scheduler = CoSAScheduler(config.accelerator, weights=config.cosa_weights)
+    return random_scheduler, hybrid_scheduler, cosa_scheduler
+
+
+def compare_on_layer(
+    layer: Layer,
+    config: ComparisonConfig,
+    schedulers=None,
+    evaluator: Callable[[Mapping | None], float] | None = None,
+) -> LayerComparison:
+    """Run all three schedulers on ``layer`` and evaluate them on the platform."""
+    random_scheduler, hybrid_scheduler, cosa_scheduler = schedulers or build_schedulers(config)
+    evaluate = evaluator or _Evaluator(config)
+
+    random_result = random_scheduler.schedule(layer)
+    hybrid_result = hybrid_scheduler.schedule(layer)
+    cosa_result = cosa_scheduler.schedule(layer)
+
+    return LayerComparison(
+        layer=layer.name or layer.canonical_name,
+        random_value=evaluate(random_result.mapping),
+        hybrid_value=evaluate(hybrid_result.mapping),
+        cosa_value=evaluate(cosa_result.mapping),
+        random_time=random_result.elapsed_seconds,
+        hybrid_time=hybrid_result.elapsed_seconds,
+        cosa_time=cosa_result.solve_time_seconds,
+        random_samples=random_result.num_sampled,
+        hybrid_samples=hybrid_result.num_sampled,
+        hybrid_evaluations=hybrid_result.num_evaluated,
+    )
+
+
+def compare_on_network(
+    label: str,
+    layers: Iterable[Layer],
+    config: ComparisonConfig,
+) -> SpeedupSummary:
+    """Run the comparison over every layer of a network."""
+    schedulers = build_schedulers(config)
+    evaluator = _Evaluator(config)
+    summary = SpeedupSummary(label=label)
+    for layer in layers:
+        summary.comparisons.append(
+            compare_on_layer(layer, config, schedulers=schedulers, evaluator=evaluator)
+        )
+    return summary

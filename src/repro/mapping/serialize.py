@@ -1,0 +1,87 @@
+"""Mapping (de)serialisation.
+
+Schedules need to leave the Python process: they are cached between runs,
+checked into experiment logs, and handed to code generators.  This module
+converts a :class:`~repro.mapping.mapping.Mapping` to and from a plain
+dictionary (JSON-compatible) and provides file helpers.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.mapping.mapping import LevelMapping, Loop, Mapping
+from repro.workloads.layer import Layer
+
+#: Schema version written into every serialised mapping.
+FORMAT_VERSION = 1
+
+
+def mapping_to_dict(mapping: Mapping) -> dict:
+    """Convert a mapping (including its layer) to a JSON-compatible dictionary."""
+    layer = mapping.layer
+    return {
+        "version": FORMAT_VERSION,
+        "layer": {
+            "name": layer.name,
+            "r": layer.r,
+            "s": layer.s,
+            "p": layer.p,
+            "q": layer.q,
+            "c": layer.c,
+            "k": layer.k,
+            "n": layer.n,
+            "stride": layer.stride,
+        },
+        "levels": [
+            {
+                "temporal": [[loop.dim, loop.bound] for loop in level.temporal],
+                "spatial": [[loop.dim, loop.bound] for loop in level.spatial],
+            }
+            for level in mapping.levels
+        ],
+    }
+
+
+def mapping_from_dict(data: dict) -> Mapping:
+    """Rebuild a mapping from :func:`mapping_to_dict` output."""
+    version = data.get("version")
+    if version != FORMAT_VERSION:
+        raise ValueError(f"unsupported mapping format version {version!r}")
+    layer_data = data["layer"]
+    layer = Layer(
+        r=layer_data["r"],
+        s=layer_data["s"],
+        p=layer_data["p"],
+        q=layer_data["q"],
+        c=layer_data["c"],
+        k=layer_data["k"],
+        n=layer_data["n"],
+        stride=layer_data["stride"],
+        name=layer_data.get("name", ""),
+    )
+    levels = []
+    for level_data in data["levels"]:
+        levels.append(
+            LevelMapping(
+                temporal=[Loop(dim=dim, bound=bound) for dim, bound in level_data["temporal"]],
+                spatial=[
+                    Loop(dim=dim, bound=bound, spatial=True)
+                    for dim, bound in level_data["spatial"]
+                ],
+            )
+        )
+    return Mapping(layer, levels)
+
+
+def save_mapping(mapping: Mapping, path: str | Path) -> Path:
+    """Write a mapping to a JSON file and return the path."""
+    path = Path(path)
+    path.write_text(json.dumps(mapping_to_dict(mapping), indent=2) + "\n")
+    return path
+
+
+def load_mapping(path: str | Path) -> Mapping:
+    """Read a mapping previously written by :func:`save_mapping`."""
+    return mapping_from_dict(json.loads(Path(path).read_text()))

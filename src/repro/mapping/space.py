@@ -1,0 +1,185 @@
+"""Map-space sampling.
+
+The scheduling space of a layer is the set of all valid assignments of its
+prime factors to (memory level, spatial/temporal) slots together with a loop
+permutation per level.  This module provides uniform random sampling of that
+space (used by the Random baseline and by the Fig. 1 histogram experiment)
+plus size estimates.
+
+Validity (buffer capacities, spatial fanouts) is checked with the analytical
+model from :mod:`repro.model`; the import is done lazily to keep the package
+import graph acyclic.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.arch.accelerator import Accelerator
+from repro.mapping.mapping import LevelMapping, Loop, Mapping
+from repro.workloads.layer import DIMENSION_NAMES, Layer
+from repro.workloads.prime import count_factorizations, factorize
+
+
+@dataclass
+class SampleStats:
+    """Bookkeeping of a sampling run (samples drawn vs. valid mappings kept)."""
+
+    sampled: int = 0
+    valid: int = 0
+
+    @property
+    def validity_rate(self) -> float:
+        """Fraction of drawn samples that satisfied all hardware constraints."""
+        if self.sampled == 0:
+            return 0.0
+        return self.valid / self.sampled
+
+
+class MapSpace:
+    """Random sampler over the scheduling space of ``layer`` on ``accelerator``."""
+
+    def __init__(self, layer: Layer, accelerator: Accelerator):
+        self.layer = layer
+        self.accelerator = accelerator
+        self.num_levels = accelerator.num_memory_levels
+        self._spatial_levels = {
+            i: accelerator.hierarchy[i].spatial_fanout
+            for i in accelerator.hierarchy.spatial_levels()
+        }
+        self._prime_factors = {dim: factorize(bound) for dim, bound in layer.bounds.items()}
+
+    # ------------------------------------------------------------------- sizes
+    def tiling_space_size(self) -> int:
+        """Number of ordered per-level factorizations (ignoring permutations).
+
+        Each dimension can be split across ``num_levels`` temporal slots plus
+        one spatial slot per spatial level, so the count per dimension is the
+        number of ordered splits into that many parts.
+        """
+        slots = self.num_levels + len(self._spatial_levels)
+        total = 1
+        for bound in self.layer.bounds.values():
+            total *= count_factorizations(bound, slots)
+        return total
+
+    def num_prime_factors(self) -> int:
+        """Total number of prime factors to place."""
+        return sum(len(f) for f in self._prime_factors.values())
+
+    # --------------------------------------------------------------- sampling
+    def random_mapping(self, rng: random.Random) -> Mapping:
+        """Draw one random (not necessarily valid) mapping.
+
+        Every prime factor is placed into a uniformly random slot; spatial
+        placement is only attempted at spatial levels and respects the
+        remaining fanout budget of the level.  Temporal loops of each level
+        get a random permutation.
+        """
+        temporal_loops: list[list[Loop]] = [[] for _ in range(self.num_levels)]
+        spatial_loops: list[list[Loop]] = [[] for _ in range(self.num_levels)]
+        fanout_budget = dict(self._spatial_levels)
+
+        slots: list[tuple[int, bool]] = [(i, False) for i in range(self.num_levels)]
+        slots += [(i, True) for i in self._spatial_levels]
+
+        for dim in DIMENSION_NAMES:
+            for prime in self._prime_factors[dim]:
+                placed = False
+                for _ in range(8):
+                    level, spatial = slots[rng.randrange(len(slots))]
+                    if spatial:
+                        if fanout_budget.get(level, 1) < prime:
+                            continue
+                        fanout_budget[level] //= prime
+                        spatial_loops[level].append(Loop(dim=dim, bound=prime, spatial=True))
+                    else:
+                        temporal_loops[level].append(Loop(dim=dim, bound=prime, spatial=False))
+                    placed = True
+                    break
+                if not placed:
+                    # Fall back to a temporal slot at a random level.
+                    level = rng.randrange(self.num_levels)
+                    temporal_loops[level].append(Loop(dim=dim, bound=prime, spatial=False))
+
+        level_mappings = []
+        for i in range(self.num_levels):
+            merged_t = _merge_loops(temporal_loops[i], spatial=False)
+            merged_s = _merge_loops(spatial_loops[i], spatial=True)
+            rng.shuffle(merged_t)
+            level_mappings.append(LevelMapping(temporal=merged_t, spatial=merged_s))
+        return Mapping(self.layer, level_mappings)
+
+    def is_valid(self, mapping: Mapping) -> bool:
+        """True when the mapping satisfies the layer bounds, fanouts and buffer capacities."""
+        from repro.model.nest import NestAnalysis  # lazy import, avoids a package cycle
+
+        if not mapping.is_consistent():
+            return False
+        for level_index, fanout in self._spatial_levels.items():
+            if mapping.spatial_product_at(level_index) > fanout:
+                return False
+        for level_index in range(self.num_levels):
+            if level_index not in self._spatial_levels and mapping.spatial_product_at(level_index) > 1:
+                return False
+        analysis = NestAnalysis(mapping, self.accelerator)
+        return analysis.fits_buffers()
+
+    def sample(self, count: int, rng: random.Random | None = None) -> tuple[list[Mapping], SampleStats]:
+        """Draw ``count`` random mappings and report how many were valid.
+
+        All drawn mappings are returned (valid or not); use
+        :meth:`sample_valid` to collect only valid ones.
+        """
+        rng = rng or random.Random(0)
+        stats = SampleStats()
+        mappings = []
+        for _ in range(count):
+            mapping = self.random_mapping(rng)
+            stats.sampled += 1
+            if self.is_valid(mapping):
+                stats.valid += 1
+            mappings.append(mapping)
+        return mappings, stats
+
+    def sample_valid(
+        self,
+        count: int,
+        rng: random.Random | None = None,
+        max_attempts: int | None = None,
+    ) -> tuple[list[Mapping], SampleStats]:
+        """Draw random mappings until ``count`` valid ones are found.
+
+        ``max_attempts`` bounds the total number of draws (default
+        ``200 * count``); fewer than ``count`` mappings are returned if the
+        budget is exhausted first.
+        """
+        rng = rng or random.Random(0)
+        max_attempts = max_attempts or 200 * count
+        stats = SampleStats()
+        valid: list[Mapping] = []
+        while len(valid) < count and stats.sampled < max_attempts:
+            mapping = self.random_mapping(rng)
+            stats.sampled += 1
+            if self.is_valid(mapping):
+                stats.valid += 1
+                valid.append(mapping)
+        return valid, stats
+
+
+def _merge_loops(loops: list[Loop], spatial: bool) -> list[Loop]:
+    """Merge loops over the same dimension into a single loop (product of bounds)."""
+    merged: dict[str, int] = {}
+    order: list[str] = []
+    for loop in loops:
+        if loop.dim not in merged:
+            merged[loop.dim] = 1
+            order.append(loop.dim)
+        merged[loop.dim] *= loop.bound
+    return [Loop(dim=dim, bound=merged[dim], spatial=spatial) for dim in order if merged[dim] > 1]
+
+
+def random_mapping(layer: Layer, accelerator: Accelerator, seed: int = 0) -> Mapping:
+    """Convenience wrapper: one random mapping of ``layer`` on ``accelerator``."""
+    return MapSpace(layer, accelerator).random_mapping(random.Random(seed))

@@ -1,0 +1,36 @@
+"""Transaction-level NoC simulator (the second evaluation platform).
+
+The paper augments Timeloop's analytical PE model with a cycle-exact
+SystemC mesh (Matchlib routers + DRAMSim2).  This subpackage provides the
+Python substitute documented in DESIGN.md: a discrete-event,
+transaction-level 2-D mesh with
+
+* X-Y (dimension-ordered) routing,
+* per-link serialisation and contention (flit-granularity occupancy),
+* multicast trees for weight/input distribution and spatial reduction for
+  partial sums,
+* a bandwidth/latency DRAM model,
+* double-buffered overlap of compute, NoC transfers and DRAM refills.
+
+The simulator walks the outer (NoC-facing) loop nest of a mapping round by
+round, injects the packets each round requires, and reports the resulting
+makespan.  It is deliberately more communication-sensitive than the
+analytical model — exactly the property the paper relies on in Fig. 10.
+"""
+
+from repro.noc.packet import Packet, TrafficDirection
+from repro.noc.mesh import MeshNetwork
+from repro.noc.dram import DramModel
+from repro.noc.traffic import TrafficGenerator, TransferRound
+from repro.noc.simulator import NoCSimulator, NoCResult
+
+__all__ = [
+    "Packet",
+    "TrafficDirection",
+    "MeshNetwork",
+    "DramModel",
+    "TrafficGenerator",
+    "TransferRound",
+    "NoCSimulator",
+    "NoCResult",
+]

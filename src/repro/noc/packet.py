@@ -1,0 +1,49 @@
+"""Packets exchanged over the mesh."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from repro.workloads.layer import TensorKind
+
+
+class TrafficDirection(Enum):
+    """Direction of a transfer relative to the global buffer."""
+
+    DISTRIBUTE = "distribute"  # global buffer -> PEs (weights, inputs, returning partials)
+    COLLECT = "collect"        # PEs -> global buffer (outputs / partial sums)
+
+
+@dataclass(frozen=True)
+class Packet:
+    """One multicast/unicast transaction.
+
+    Parameters
+    ----------
+    tensor:
+        Which tensor the payload belongs to.
+    direction:
+        Distribution (GB to PEs) or collection (PEs to GB).
+    payload_bytes:
+        Payload size of the transaction.
+    destinations:
+        PE ids receiving the payload (for collection packets this is the
+        single source PE).
+    """
+
+    tensor: TensorKind
+    direction: TrafficDirection
+    payload_bytes: float
+    destinations: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if self.payload_bytes < 0:
+            raise ValueError("payload_bytes must be non-negative")
+        if not self.destinations:
+            raise ValueError("a packet needs at least one destination")
+
+    @property
+    def is_multicast(self) -> bool:
+        """True when the packet targets more than one PE."""
+        return len(self.destinations) > 1

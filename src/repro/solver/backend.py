@@ -1,0 +1,34 @@
+"""Backend protocol and default backend selection."""
+
+from __future__ import annotations
+
+from typing import Protocol, runtime_checkable
+
+from repro.solver.solution import Solution
+
+
+@runtime_checkable
+class Backend(Protocol):
+    """Anything that can solve a :class:`~repro.solver.model.MIPModel`."""
+
+    def solve(self, model) -> Solution:  # pragma: no cover - protocol signature
+        """Solve ``model`` and return a :class:`Solution`."""
+        ...
+
+
+def default_backend() -> "Backend":
+    """Return the preferred backend available in this environment.
+
+    ``scipy.optimize.milp`` (HiGHS) is preferred; the pure-Python
+    branch-and-bound backend is the fallback when the scipy installation is
+    too old to provide ``milp``.
+    """
+    try:
+        from scipy.optimize import milp  # noqa: F401
+    except ImportError:  # pragma: no cover - depends on the environment
+        from repro.solver.branch_and_bound import BranchAndBoundBackend
+
+        return BranchAndBoundBackend()
+    from repro.solver.scipy_backend import ScipyMilpBackend
+
+    return ScipyMilpBackend()

@@ -1,0 +1,159 @@
+"""Pure-Python branch-and-bound MILP solver.
+
+Fallback backend (and readable reference implementation) for environments
+whose SciPy predates :func:`scipy.optimize.milp`.  It solves LP relaxations
+with :func:`scipy.optimize.linprog` (HiGHS simplex/IPM) and branches on the
+most fractional integer variable, keeping a best-first frontier and pruning
+nodes whose relaxation bound cannot beat the incumbent.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import time
+
+import numpy as np
+from scipy.optimize import linprog
+
+from repro.solver.solution import Solution, SolveStatus
+
+_INTEGRALITY_TOLERANCE = 1e-6
+
+
+class BranchAndBoundBackend:
+    """Exact branch-and-bound over LP relaxations.
+
+    Parameters
+    ----------
+    max_nodes:
+        Hard limit on explored nodes; the best incumbent found so far is
+        returned with :attr:`SolveStatus.TIME_LIMIT` when it is hit.
+    time_limit_seconds:
+        Optional wall-clock limit.
+    """
+
+    def __init__(self, max_nodes: int = 20000, time_limit_seconds: float | None = None):
+        self.max_nodes = max_nodes
+        self.time_limit_seconds = time_limit_seconds
+
+    def solve(self, model) -> Solution:
+        """Solve ``model`` to proven optimality (subject to the node/time limits)."""
+        form = model.to_matrix_form()
+        num_vars = len(form.variables)
+        integer_indices = np.flatnonzero(form.integrality > 0.5)
+
+        start = time.perf_counter()
+
+        def out_of_budget() -> bool:
+            return (
+                self.time_limit_seconds is not None
+                and time.perf_counter() - start > self.time_limit_seconds
+            )
+
+        def solve_relaxation(lower: np.ndarray, upper: np.ndarray):
+            bounds = list(zip(lower, np.where(np.isinf(upper), None, upper)))
+            result = linprog(
+                c=form.c,
+                A_ub=form.a_ub if form.a_ub.size else None,
+                b_ub=form.b_ub if form.b_ub.size else None,
+                A_eq=form.a_eq if form.a_eq.size else None,
+                b_eq=form.b_eq if form.b_eq.size else None,
+                bounds=bounds,
+                method="highs",
+            )
+            return result
+
+        # Best-first frontier ordered by the relaxation bound.
+        counter = itertools.count()
+        root = solve_relaxation(form.lower, form.upper)
+        nodes_explored = 1
+        if root.status == 2:
+            return Solution(SolveStatus.INFEASIBLE, solve_time_seconds=time.perf_counter() - start)
+        if root.status == 3:
+            return Solution(SolveStatus.UNBOUNDED, solve_time_seconds=time.perf_counter() - start)
+        if root.status != 0:
+            return Solution(SolveStatus.ERROR, solve_time_seconds=time.perf_counter() - start)
+
+        frontier = [(root.fun, next(counter), form.lower.copy(), form.upper.copy(), root.x)]
+        incumbent_value = np.inf
+        incumbent_x: np.ndarray | None = None
+        hit_limit = False
+
+        while frontier:
+            bound, _, lower, upper, x = heapq.heappop(frontier)
+            if bound >= incumbent_value - 1e-9:
+                continue
+            if nodes_explored >= self.max_nodes or out_of_budget():
+                hit_limit = True
+                break
+
+            fractional = self._most_fractional(x, integer_indices)
+            if fractional is None:
+                # Integer feasible: candidate incumbent.
+                if bound < incumbent_value - 1e-9:
+                    incumbent_value = bound
+                    incumbent_x = x
+                continue
+
+            index, value = fractional
+            for branch_lower, branch_upper in self._branches(lower, upper, index, value):
+                result = solve_relaxation(branch_lower, branch_upper)
+                nodes_explored += 1
+                if result.status != 0:
+                    continue
+                if result.fun >= incumbent_value - 1e-9:
+                    continue
+                heapq.heappush(
+                    frontier,
+                    (result.fun, next(counter), branch_lower, branch_upper, result.x),
+                )
+
+        elapsed = time.perf_counter() - start
+        if incumbent_x is None:
+            status = SolveStatus.TIME_LIMIT if hit_limit else SolveStatus.INFEASIBLE
+            return Solution(status, solve_time_seconds=elapsed, iterations=nodes_explored)
+
+        values = {}
+        for var, value in zip(form.variables, incumbent_x):
+            if var.kind != "continuous":
+                value = float(round(value))
+            values[var] = float(value)
+        status = SolveStatus.TIME_LIMIT if hit_limit else SolveStatus.OPTIMAL
+        return Solution(
+            status=status,
+            objective=float(incumbent_value),
+            values=values,
+            solve_time_seconds=elapsed,
+            iterations=nodes_explored,
+        )
+
+    @staticmethod
+    def _most_fractional(x: np.ndarray, integer_indices: np.ndarray):
+        """Index and value of the integer variable farthest from an integer, or None."""
+        best_index = None
+        best_distance = _INTEGRALITY_TOLERANCE
+        for index in integer_indices:
+            value = x[index]
+            distance = abs(value - round(value))
+            if distance > best_distance:
+                best_distance = distance
+                best_index = index
+        if best_index is None:
+            return None
+        return int(best_index), float(x[best_index])
+
+    @staticmethod
+    def _branches(lower: np.ndarray, upper: np.ndarray, index: int, value: float):
+        """The two child bound boxes obtained by branching on variable ``index``."""
+        floor_value = np.floor(value)
+        left_lower, left_upper = lower.copy(), upper.copy()
+        left_upper[index] = floor_value
+        right_lower, right_upper = lower.copy(), upper.copy()
+        right_lower[index] = floor_value + 1
+        branches = []
+        if left_lower[index] <= left_upper[index]:
+            branches.append((left_lower, left_upper))
+        if right_lower[index] <= right_upper[index]:
+            branches.append((right_lower, right_upper))
+        return branches

@@ -1,0 +1,198 @@
+"""Declarative MIP model.
+
+:class:`MIPModel` collects variables, linear constraints and a linear
+objective, and hands a matrix form (`numpy` arrays) to whichever backend is
+asked to solve it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+import numpy as np
+
+from repro.solver.expr import LinearExpr, Variable, VarKind
+
+
+class Sense(Enum):
+    """Constraint senses (expressions are normalised to ``expr sense rhs``)."""
+
+    LE = "<="
+    GE = ">="
+    EQ = "=="
+
+
+@dataclass
+class Constraint:
+    """A linear constraint ``expr.terms + expr.constant (sense) rhs``.
+
+    Constraints are normally produced by comparing expressions
+    (``x + y <= 3``) rather than constructed directly.
+    """
+
+    expr: LinearExpr
+    sense: Sense
+    rhs: float
+    name: str = ""
+
+    @property
+    def bound(self) -> float:
+        """Right-hand side after moving the expression constant over."""
+        return self.rhs - self.expr.constant
+
+    def satisfied_by(self, values, tolerance: float = 1e-6) -> bool:
+        """Check the constraint under an assignment (used in tests and validation)."""
+        lhs = sum(c * values.get(v, 0.0) for v, c in self.expr.terms.items())
+        if self.sense is Sense.LE:
+            return lhs <= self.bound + tolerance
+        if self.sense is Sense.GE:
+            return lhs >= self.bound - tolerance
+        return abs(lhs - self.bound) <= tolerance
+
+
+@dataclass
+class MatrixForm:
+    """Dense matrix representation handed to the solver backends.
+
+    Rows of ``a_ub``/``b_ub`` encode ``A x <= b``; rows of ``a_eq``/``b_eq``
+    encode ``A x == b``.  ``integrality`` follows scipy's convention
+    (0 = continuous, 1 = integer).
+    """
+
+    variables: list[Variable]
+    c: np.ndarray
+    a_ub: np.ndarray
+    b_ub: np.ndarray
+    a_eq: np.ndarray
+    b_eq: np.ndarray
+    lower: np.ndarray
+    upper: np.ndarray
+    integrality: np.ndarray
+
+
+class MIPModel:
+    """A mixed-integer program under construction."""
+
+    def __init__(self, name: str = "model"):
+        self.name = name
+        self.variables: list[Variable] = []
+        self.constraints: list[Constraint] = []
+        self.objective: LinearExpr = LinearExpr()
+        self.minimize = True
+
+    # -------------------------------------------------------------- variables
+    def add_var(
+        self,
+        name: str,
+        kind: str = VarKind.CONTINUOUS,
+        lower: float = 0.0,
+        upper: float = float("inf"),
+    ) -> Variable:
+        """Create and register a decision variable."""
+        var = Variable(name=name, kind=kind, lower=lower, upper=upper, index=len(self.variables))
+        self.variables.append(var)
+        return var
+
+    def add_binary(self, name: str) -> Variable:
+        """Create a 0/1 variable."""
+        return self.add_var(name, kind=VarKind.BINARY)
+
+    def add_integer(self, name: str, lower: float = 0.0, upper: float = float("inf")) -> Variable:
+        """Create an integer variable."""
+        return self.add_var(name, kind=VarKind.INTEGER, lower=lower, upper=upper)
+
+    def add_continuous(self, name: str, lower: float = 0.0, upper: float = float("inf")) -> Variable:
+        """Create a continuous variable."""
+        return self.add_var(name, kind=VarKind.CONTINUOUS, lower=lower, upper=upper)
+
+    # ------------------------------------------------------------- constraints
+    def add_constraint(self, constraint: Constraint, name: str = "") -> Constraint:
+        """Register a constraint (typically built via expression comparison)."""
+        if not isinstance(constraint, Constraint):
+            raise TypeError(
+                "add_constraint expects a Constraint (did the comparison return a bool?)"
+            )
+        if name:
+            constraint.name = name
+        self.constraints.append(constraint)
+        return constraint
+
+    # --------------------------------------------------------------- objective
+    def set_objective(self, expr: LinearExpr | Variable, minimize: bool = True) -> None:
+        """Set the (linear) objective and its direction."""
+        if isinstance(expr, Variable):
+            expr = expr.to_expr()
+        self.objective = expr
+        self.minimize = minimize
+
+    # ------------------------------------------------------------ matrix form
+    def to_matrix_form(self) -> MatrixForm:
+        """Lower the model to the dense arrays used by the backends."""
+        num_vars = len(self.variables)
+        c = np.zeros(num_vars)
+        for var, coeff in self.objective.terms.items():
+            c[var.index] += coeff
+        if not self.minimize:
+            c = -c
+
+        ub_rows, ub_rhs, eq_rows, eq_rhs = [], [], [], []
+        for constraint in self.constraints:
+            row = np.zeros(num_vars)
+            for var, coeff in constraint.expr.terms.items():
+                row[var.index] += coeff
+            bound = constraint.bound
+            if constraint.sense is Sense.LE:
+                ub_rows.append(row)
+                ub_rhs.append(bound)
+            elif constraint.sense is Sense.GE:
+                ub_rows.append(-row)
+                ub_rhs.append(-bound)
+            else:
+                eq_rows.append(row)
+                eq_rhs.append(bound)
+
+        lower = np.array([v.lower for v in self.variables], dtype=float)
+        upper = np.array([v.upper for v in self.variables], dtype=float)
+        integrality = np.array(
+            [0 if v.kind == VarKind.CONTINUOUS else 1 for v in self.variables], dtype=float
+        )
+        return MatrixForm(
+            variables=list(self.variables),
+            c=c,
+            a_ub=np.array(ub_rows) if ub_rows else np.zeros((0, num_vars)),
+            b_ub=np.array(ub_rhs) if ub_rhs else np.zeros(0),
+            a_eq=np.array(eq_rows) if eq_rows else np.zeros((0, num_vars)),
+            b_eq=np.array(eq_rhs) if eq_rhs else np.zeros(0),
+            lower=lower,
+            upper=upper,
+            integrality=integrality,
+        )
+
+    # ------------------------------------------------------------------ solve
+    def solve(self, backend=None):
+        """Solve with ``backend`` (defaults to the scipy HiGHS MILP backend)."""
+        from repro.solver.backend import default_backend
+
+        backend = backend or default_backend()
+        solution = backend.solve(self)
+        if not self.minimize and solution.is_optimal:
+            solution.objective = -solution.objective
+        return solution
+
+    # ------------------------------------------------------------------ stats
+    @property
+    def num_variables(self) -> int:
+        """Number of registered variables."""
+        return len(self.variables)
+
+    @property
+    def num_constraints(self) -> int:
+        """Number of registered constraints."""
+        return len(self.constraints)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"MIPModel({self.name}: {self.num_variables} vars, "
+            f"{self.num_constraints} constraints)"
+        )

@@ -1,0 +1,49 @@
+"""Workload (DNN layer) representation used throughout the CoSA reproduction.
+
+The paper targets operators that can be expressed as a 7-dimensional nested
+loop with bounds ``R, S, P, Q, C, K, N`` (convolution kernel width/height,
+output width/height, input channels, output channels, batch).  Matrix
+multiplication is a special case with ``R = S = 1`` and ``P`` or ``Q`` folded
+into the batch/feature dimensions.
+
+This subpackage provides:
+
+* :class:`~repro.workloads.layer.Layer` — the layer specification plus derived
+  quantities (input width/height, MAC counts, tensor volumes).
+* :mod:`~repro.workloads.prime` — prime factorisation helpers used by the
+  prime-factor-allocation formulation of CoSA.
+* :mod:`~repro.workloads.networks` — the exact layer tables used in the
+  paper's evaluation (AlexNet, ResNet-50, ResNeXt-50 32x4d, DeepBench).
+"""
+
+from repro.workloads.layer import Layer, TensorKind, matmul_layer
+from repro.workloads.prime import (
+    factorize,
+    prime_factor_multiset,
+    all_factorizations,
+    divisors,
+)
+from repro.workloads.networks import (
+    alexnet_layers,
+    resnet50_layers,
+    resnext50_layers,
+    deepbench_layers,
+    workload_suite,
+    layer_from_name,
+)
+
+__all__ = [
+    "Layer",
+    "TensorKind",
+    "matmul_layer",
+    "factorize",
+    "prime_factor_multiset",
+    "all_factorizations",
+    "divisors",
+    "alexnet_layers",
+    "resnet50_layers",
+    "resnext50_layers",
+    "deepbench_layers",
+    "workload_suite",
+    "layer_from_name",
+]

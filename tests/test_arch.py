@@ -1,0 +1,254 @@
+"""Unit tests for the architecture description subpackage."""
+
+import pytest
+
+from repro.arch import (
+    Accelerator,
+    EnergyTable,
+    GPUSpec,
+    MemoryHierarchy,
+    MemoryLevel,
+    NoCSpec,
+    PEArraySpec,
+    Precision,
+    architecture_presets,
+    k80_like_gpu,
+    large_buffers,
+    pe_array_8x8,
+    simba_like,
+)
+from repro.workloads.layer import TensorKind
+
+
+class TestMemoryLevel:
+    def test_basic_properties(self):
+        level = MemoryLevel("Buf", 1024, frozenset({TensorKind.WEIGHT}), spatial_fanout=4)
+        assert level.holds(TensorKind.WEIGHT)
+        assert not level.holds(TensorKind.INPUT)
+        assert not level.is_unbounded
+
+    def test_unbounded_level(self):
+        dram = MemoryLevel("DRAM", None, frozenset(TensorKind))
+        assert dram.is_unbounded
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MemoryLevel("Bad", 0, frozenset(TensorKind))
+        with pytest.raises(ValueError):
+            MemoryLevel("Bad", 16, frozenset(TensorKind), spatial_fanout=0)
+        with pytest.raises(ValueError):
+            MemoryLevel("Bad", 16, frozenset(TensorKind), bandwidth_words_per_cycle=0)
+
+    def test_scaled(self):
+        level = MemoryLevel("Buf", 1000, frozenset({TensorKind.INPUT}))
+        doubled = level.scaled(capacity_scale=2.0)
+        assert doubled.capacity_bytes == 2000
+        assert level.capacity_bytes == 1000  # original untouched
+
+    def test_scaled_preserves_unbounded(self):
+        dram = MemoryLevel("DRAM", None, frozenset(TensorKind))
+        assert dram.scaled(capacity_scale=8.0).capacity_bytes is None
+
+
+class TestMemoryHierarchy:
+    def _hierarchy(self):
+        return MemoryHierarchy(
+            [
+                MemoryLevel("Reg", 64, frozenset(TensorKind), spatial_fanout=8),
+                MemoryLevel("Buf", 1024, frozenset({TensorKind.WEIGHT})),
+                MemoryLevel("GB", 4096, frozenset({TensorKind.INPUT, TensorKind.OUTPUT}), spatial_fanout=4),
+                MemoryLevel("DRAM", None, frozenset(TensorKind)),
+            ]
+        )
+
+    def test_indexing_by_name_and_position(self):
+        h = self._hierarchy()
+        assert h.index_of("GB") == 2
+        assert h["GB"].name == "GB"
+        assert h[0].name == "Reg"
+        assert len(h) == 4
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError):
+            self._hierarchy().index_of("L2")
+
+    def test_levels_holding(self):
+        h = self._hierarchy()
+        assert h.levels_holding(TensorKind.WEIGHT) == [0, 1, 3]
+        assert h.levels_holding(TensorKind.INPUT) == [0, 2, 3]
+
+    def test_spatial_levels_and_fanout(self):
+        h = self._hierarchy()
+        assert h.spatial_levels() == [0, 2]
+        assert h.total_spatial_fanout() == 32
+        assert h.instances_of(0) == 4  # replicated by GB fanout
+        assert h.instances_of(2) == 1
+
+    def test_requires_unbounded_outermost(self):
+        with pytest.raises(ValueError):
+            MemoryHierarchy(
+                [
+                    MemoryLevel("Reg", 64, frozenset(TensorKind)),
+                    MemoryLevel("Buf", 128, frozenset(TensorKind)),
+                ]
+            )
+
+    def test_rejects_duplicate_names(self):
+        with pytest.raises(ValueError):
+            MemoryHierarchy(
+                [
+                    MemoryLevel("A", 64, frozenset(TensorKind)),
+                    MemoryLevel("A", 128, frozenset(TensorKind)),
+                    MemoryLevel("DRAM", None, frozenset(TensorKind)),
+                ]
+            )
+
+    def test_with_level_replacement(self):
+        h = self._hierarchy()
+        bigger = h.with_level("Buf", h["Buf"].scaled(capacity_scale=4.0))
+        assert bigger["Buf"].capacity_bytes == 4096
+        assert h["Buf"].capacity_bytes == 1024
+
+    def test_describe_mentions_every_level(self):
+        text = self._hierarchy().describe()
+        for name in ("Reg", "Buf", "GB", "DRAM"):
+            assert name in text
+
+
+class TestSpatialSpecs:
+    def test_pe_array(self):
+        array = PEArraySpec(rows=4, cols=4, macs_per_pe=64)
+        assert array.num_pes == 16
+        assert array.peak_macs_per_cycle == 1024
+        assert array.scaled(rows=8, cols=8).num_pes == 64
+
+    def test_pe_array_validation(self):
+        with pytest.raises(ValueError):
+            PEArraySpec(rows=0)
+        with pytest.raises(ValueError):
+            PEArraySpec(macs_per_pe=0)
+
+    def test_noc_flit_math(self):
+        noc = NoCSpec(flit_bits=64)
+        assert noc.flit_bytes == 8
+        assert noc.flits_for_bytes(0) == 0
+        assert noc.flits_for_bytes(1) == 1
+        assert noc.flits_for_bytes(8) == 1
+        assert noc.flits_for_bytes(9) == 2
+
+    def test_noc_scaled_bandwidth(self):
+        noc = NoCSpec().scaled_bandwidth(2.0)
+        assert noc.link_bandwidth_flits == 2.0
+        assert noc.dram_bandwidth_bytes_per_cycle == 16.0
+
+    def test_noc_validation(self):
+        with pytest.raises(ValueError):
+            NoCSpec(routing="adaptive")
+        with pytest.raises(ValueError):
+            NoCSpec(flit_bits=0)
+
+
+class TestEnergyTable:
+    def test_known_and_fallback_levels(self):
+        table = EnergyTable()
+        assert table.access_energy("DRAM") > table.access_energy("GlobalBuffer")
+        assert table.access_energy("GlobalBuffer") > table.access_energy("Registers")
+        assert table.access_energy("SomethingElse") == table.default_sram_pj
+
+    def test_override(self):
+        table = EnergyTable().with_level_energy("GlobalBuffer", 3.0)
+        assert table.access_energy("GlobalBuffer") == 3.0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            EnergyTable(mac_energy_pj=-1.0)
+
+
+class TestPrecision:
+    def test_paper_defaults(self):
+        precision = Precision()
+        assert precision.bytes_for(TensorKind.WEIGHT) == 1
+        assert precision.bytes_for(TensorKind.INPUT) == 1
+        assert precision.bytes_for(TensorKind.OUTPUT) == 3
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Precision(weight_bytes=0)
+
+
+class TestPresets:
+    def test_baseline_matches_table_v(self):
+        arch = simba_like()
+        assert arch.num_pes == 16
+        assert arch.pe_array.macs_per_pe == 64
+        h = arch.hierarchy
+        assert h["Registers"].capacity_bytes == 64
+        assert h["AccumulationBuffer"].capacity_bytes == 3 * 1024
+        assert h["WeightBuffer"].capacity_bytes == 32 * 1024
+        assert h["InputBuffer"].capacity_bytes == 8 * 1024
+        assert h["GlobalBuffer"].capacity_bytes == 128 * 1024
+        assert h["DRAM"].is_unbounded
+        assert arch.noc.flit_bits == 64
+
+    def test_tensor_bindings_match_table_iv(self):
+        h = simba_like().hierarchy
+        assert h["WeightBuffer"].tensors == frozenset({TensorKind.WEIGHT})
+        assert h["InputBuffer"].tensors == frozenset({TensorKind.INPUT})
+        assert h["AccumulationBuffer"].tensors == frozenset({TensorKind.OUTPUT})
+        assert h["GlobalBuffer"].tensors == frozenset({TensorKind.INPUT, TensorKind.OUTPUT})
+        assert h["DRAM"].tensors == frozenset(TensorKind)
+
+    def test_pe_8x8_variant(self):
+        arch = pe_array_8x8()
+        assert arch.num_pes == 64
+        assert arch.noc.dram_bandwidth_bytes_per_cycle == 2 * simba_like().noc.dram_bandwidth_bytes_per_cycle
+
+    def test_large_buffer_variant(self):
+        base, big = simba_like(), large_buffers()
+        assert big.hierarchy["GlobalBuffer"].capacity_bytes == 8 * base.hierarchy["GlobalBuffer"].capacity_bytes
+        assert big.hierarchy["WeightBuffer"].capacity_bytes == 2 * base.hierarchy["WeightBuffer"].capacity_bytes
+
+    def test_presets_registry(self):
+        presets = architecture_presets()
+        assert set(presets) == {"baseline-4x4", "pe-8x8", "large-buffers"}
+
+    def test_pe_level_index_is_global_buffer(self):
+        arch = simba_like()
+        assert arch.hierarchy[arch.pe_level_index()].name == "GlobalBuffer"
+
+    def test_capacity_in_words_respects_precision(self):
+        arch = simba_like()
+        gb = arch.hierarchy.index_of("GlobalBuffer")
+        assert arch.level_capacity_words(gb, TensorKind.OUTPUT) == 128 * 1024 / 3
+        assert arch.level_capacity_words(arch.hierarchy.dram_index, TensorKind.WEIGHT) == float("inf")
+
+    def test_describe(self):
+        assert "GlobalBuffer" in simba_like().describe()
+
+    def test_accelerator_fanout_consistency_check(self):
+        arch = simba_like()
+        with pytest.raises(ValueError):
+            Accelerator(
+                name="broken",
+                hierarchy=arch.hierarchy,
+                pe_array=PEArraySpec(rows=3, cols=3),
+            )
+
+
+class TestGPUSpec:
+    def test_defaults_match_k80(self):
+        gpu = k80_like_gpu()
+        assert gpu.cuda_cores == 2496
+        assert gpu.max_threads_per_block == 1024
+        assert gpu.shared_memory_bytes == 48 * 1024
+        assert gpu.max_block_dims == (1024, 1024, 64)
+
+    def test_derived_quantities(self):
+        gpu = GPUSpec()
+        assert gpu.cores_per_sm == gpu.cuda_cores // gpu.num_sms
+        assert gpu.peak_flops_per_cycle == gpu.cuda_cores
+        assert gpu.dram_bytes_per_cycle > 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GPUSpec(max_block_dims=(0, 1, 1))

@@ -1,0 +1,140 @@
+"""Unit tests for the baseline schedulers (Random, Timeloop-Hybrid, TVM-like)."""
+
+import pytest
+
+from repro.arch import simba_like
+from repro.arch.gpu import gpu_as_accelerator
+from repro.baselines import RandomScheduler, TimeloopHybridScheduler, TVMLikeTuner
+from repro.baselines.base import SearchScheduler
+from repro.model import CostModel
+from repro.workloads import Layer, layer_from_name
+
+ARCH = simba_like()
+SMALL_LAYER = Layer(r=3, s=3, p=4, q=4, c=8, k=16, name="small")
+MEDIUM_LAYER = layer_from_name("3_14_128_256_1")
+
+
+class TestSearchScheduler:
+    def test_metric_validation(self):
+        with pytest.raises(ValueError):
+            RandomScheduler(ARCH, metric="throughput")
+
+    def test_score_prefers_valid(self):
+        scheduler = RandomScheduler(ARCH, metric="edp")
+        from repro.model.cost import CostResult
+
+        invalid = CostResult(valid=False)
+        valid = CostResult(valid=True, latency=10.0, energy=5.0)
+        assert scheduler.score(invalid) == float("inf")
+        assert scheduler.score(valid) == 50.0
+
+    def test_all_metrics_supported(self):
+        for metric in SearchScheduler.METRICS:
+            RandomScheduler(ARCH, metric=metric)
+
+
+class TestRandomScheduler:
+    def test_finds_valid_mapping(self):
+        scheduler = RandomScheduler(ARCH, num_valid=3, max_attempts=3000, seed=0)
+        result = scheduler.schedule(SMALL_LAYER)
+        assert result.succeeded
+        assert result.num_evaluated <= 3
+        assert result.num_sampled >= result.num_evaluated
+        assert result.cost.valid
+        assert result.mapping.is_consistent()
+
+    def test_deterministic_given_seed(self):
+        a = RandomScheduler(ARCH, num_valid=2, seed=7).schedule(SMALL_LAYER)
+        b = RandomScheduler(ARCH, num_valid=2, seed=7).schedule(SMALL_LAYER)
+        assert a.cost.latency == b.cost.latency
+
+    def test_more_samples_never_hurt(self):
+        few = RandomScheduler(ARCH, num_valid=1, seed=3).schedule(MEDIUM_LAYER)
+        many = RandomScheduler(ARCH, num_valid=10, seed=3).schedule(MEDIUM_LAYER)
+        assert many.cost.latency <= few.cost.latency
+
+    def test_network_scheduling(self):
+        scheduler = RandomScheduler(ARCH, num_valid=1, seed=0)
+        results = scheduler.schedule_network([SMALL_LAYER, MEDIUM_LAYER])
+        assert len(results) == 2
+
+    def test_best_mapping_validated_by_cost_model(self):
+        result = RandomScheduler(ARCH, num_valid=3, seed=5).schedule(MEDIUM_LAYER)
+        assert CostModel(ARCH).evaluate(result.mapping).valid
+
+
+class TestTimeloopHybridScheduler:
+    def test_finds_valid_mapping(self):
+        scheduler = TimeloopHybridScheduler(
+            ARCH, num_threads=1, termination_condition=16, max_evaluations=100, seed=0
+        )
+        result = scheduler.schedule(SMALL_LAYER)
+        assert result.succeeded
+        assert result.num_evaluated > 0
+        assert result.mapping.is_consistent()
+
+    def test_beats_or_matches_single_random_sample(self):
+        random_result = RandomScheduler(ARCH, num_valid=1, seed=11).schedule(MEDIUM_LAYER)
+        hybrid_result = TimeloopHybridScheduler(
+            ARCH, num_threads=2, termination_condition=32, max_evaluations=400, seed=11
+        ).schedule(MEDIUM_LAYER)
+        assert hybrid_result.cost.latency <= random_result.cost.latency
+
+    def test_respects_evaluation_budget(self):
+        scheduler = TimeloopHybridScheduler(
+            ARCH, num_threads=4, termination_condition=1000, max_evaluations=50, seed=0
+        )
+        result = scheduler.schedule(SMALL_LAYER)
+        assert result.num_evaluated <= 50
+
+    def test_energy_metric_changes_selection_target(self):
+        latency_result = TimeloopHybridScheduler(
+            ARCH, num_threads=1, termination_condition=24, max_evaluations=200, seed=2
+        ).schedule(MEDIUM_LAYER)
+        energy_result = TimeloopHybridScheduler(
+            ARCH,
+            num_threads=1,
+            termination_condition=24,
+            max_evaluations=200,
+            metric="energy",
+            seed=2,
+        ).schedule(MEDIUM_LAYER)
+        assert energy_result.cost.energy <= latency_result.cost.energy * 1.001
+
+    def test_paper_settings_configuration(self):
+        scheduler = TimeloopHybridScheduler.paper_settings(ARCH)
+        assert scheduler.num_threads == 32
+        assert scheduler.termination_condition == 500
+
+    def test_permutation_sweep_preserves_consistency(self):
+        scheduler = TimeloopHybridScheduler(ARCH, num_threads=1, termination_condition=8,
+                                            max_evaluations=40, seed=1)
+        result = scheduler.schedule(MEDIUM_LAYER)
+        assert result.mapping.is_consistent()
+
+
+class TestTVMLikeTuner:
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            TVMLikeTuner(ARCH, trials=0)
+        with pytest.raises(ValueError):
+            TVMLikeTuner(ARCH, exploration=1.5)
+
+    def test_tunes_on_gpu_target(self):
+        gpu = gpu_as_accelerator()
+        tuner = TVMLikeTuner(gpu, trials=5, batch_size=4, seed=0)
+        result = tuner.schedule(SMALL_LAYER)
+        assert result.succeeded
+        assert result.mapping.is_consistent()
+        assert CostModel(gpu).evaluate(result.mapping).valid
+
+    def test_more_trials_never_hurt(self):
+        gpu = gpu_as_accelerator()
+        short = TVMLikeTuner(gpu, trials=2, batch_size=4, seed=4).schedule(MEDIUM_LAYER)
+        long = TVMLikeTuner(gpu, trials=10, batch_size=4, seed=4).schedule(MEDIUM_LAYER)
+        assert long.cost.latency <= short.cost.latency
+
+    def test_mutations_keep_layer_bounds(self):
+        tuner = TVMLikeTuner(ARCH, trials=4, batch_size=4, seed=9)
+        result = tuner.schedule(SMALL_LAYER)
+        assert result.mapping.is_consistent()

@@ -1,0 +1,226 @@
+"""Unit tests for the CoSA formulation: constants, variables, constraints."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.arch import simba_like
+from repro.core.constants import is_relevant, relevance_matrix, relevant_dims, storage_matrix
+from repro.core.constraints import add_all_constraints
+from repro.core.formulation import CoSAFormulation
+from repro.core.objectives import (
+    ObjectiveWeights,
+    mapping_compute,
+    mapping_objective_breakdown,
+    mapping_traffic,
+    mapping_utilization,
+)
+from repro.core.variables import CoSAVariables
+from repro.solver.model import MIPModel
+from repro.solver.solution import SolveStatus
+from repro.workloads import Layer, layer_from_name
+from repro.workloads.layer import DIMENSION_NAMES, TensorKind
+
+ARCH = simba_like()
+
+
+class TestConstantMatrices:
+    def test_relevance_matrix_matches_table_iv(self):
+        a = relevance_matrix()
+        assert a.shape == (7, 3)
+        # Weight column: R, S, C, K.
+        assert list(np.flatnonzero(a[:, TensorKind.WEIGHT])) == [
+            DIMENSION_NAMES.index(d) for d in ("R", "S", "C", "K")
+        ]
+        # Output column: P, Q, K, N.
+        assert list(np.flatnonzero(a[:, TensorKind.OUTPUT])) == [
+            DIMENSION_NAMES.index(d) for d in ("P", "Q", "K", "N")
+        ]
+
+    def test_storage_matrix_matches_hierarchy(self):
+        b = storage_matrix(ARCH)
+        assert b.shape == (6, 3)
+        wbuf = ARCH.hierarchy.index_of("WeightBuffer")
+        assert list(b[wbuf]) == [1, 0, 0]
+        dram = ARCH.hierarchy.dram_index
+        assert list(b[dram]) == [1, 1, 1]
+
+    def test_relevant_dims_helpers(self):
+        assert relevant_dims(TensorKind.WEIGHT) == ("R", "S", "C", "K")
+        assert is_relevant("K", TensorKind.OUTPUT)
+        assert not is_relevant("K", TensorKind.INPUT)
+
+
+class TestVariables:
+    def test_factor_enumeration(self):
+        layer = Layer(r=3, s=3, p=4, q=4, c=8, k=16, n=1)
+        model = MIPModel()
+        variables = CoSAVariables(model, layer, ARCH)
+        # 1 + 1 + 2 + 2 + 3 + 4 + 0 prime factors.
+        assert len(variables.factors) == 13
+        assert len(variables.factors_of_dim("K")) == 4
+        assert all(f.log_value == pytest.approx(math.log(f.value)) for f in variables.factors)
+
+    def test_spatial_variables_respect_fanout(self):
+        # A prime factor of 7 cannot be mapped across a 4x4=16-PE array level
+        # only when it exceeds the fanout; 7 <= 16 so it can, but 17 could not.
+        layer = Layer(p=7, c=17)
+        model = MIPModel()
+        variables = CoSAVariables(model, layer, ARCH)
+        seven = variables.factors_of_dim("P")[0]
+        seventeen = variables.factors_of_dim("C")[0]
+        gb = ARCH.pe_level_index()
+        assert variables.spatial_at(seven, gb) is not None
+        assert variables.spatial_at(seventeen, gb) is None
+
+    def test_temporal_levels_stop_at_noc_boundary(self):
+        layer = Layer(k=8)
+        variables = CoSAVariables(MIPModel(), layer, ARCH)
+        assert variables.temporal_levels == list(range(ARCH.pe_level_index() + 1))
+
+    def test_active_dims_and_ranks(self):
+        layer = Layer(p=4, k=8)
+        variables = CoSAVariables(MIPModel(), layer, ARCH)
+        assert variables.active_dims == ["P", "K"]
+        assert variables.num_ranks == 2
+
+    def test_identical_factor_runs(self):
+        layer = Layer(c=8)  # three factors of 2
+        variables = CoSAVariables(MIPModel(), layer, ARCH)
+        runs = variables.identical_factor_runs()
+        assert len(runs) == 1
+        assert len(runs[0]) == 3
+
+    def test_variable_count_matches_registry(self):
+        layer = Layer(p=4, c=4, k=4)
+        model = MIPModel()
+        variables = CoSAVariables(model, layer, ARCH)
+        assert variables.num_variables == model.num_variables
+
+
+class TestFormulationSolutions:
+    """End-to-end checks on small layers where the optimum is easy to reason about."""
+
+    def _schedule(self, layer, weights=ObjectiveWeights()):
+        formulation = CoSAFormulation(layer, ARCH, weights=weights, capacity_fraction=0.5)
+        solution = formulation.solve()
+        assert solution.status is SolveStatus.OPTIMAL
+        mapping = formulation.decode(solution)
+        return formulation, solution, mapping
+
+    def test_small_layer_produces_consistent_mapping(self):
+        layer = Layer(r=3, s=3, p=4, q=4, c=8, k=16)
+        _, _, mapping = self._schedule(layer)
+        assert mapping.is_consistent()
+        assert mapping.num_levels == ARCH.num_memory_levels
+
+    def test_spatial_factors_respect_fanouts(self):
+        layer = Layer(p=8, q=8, c=16, k=32)
+        _, _, mapping = self._schedule(layer)
+        for index, level in enumerate(ARCH.hierarchy):
+            assert mapping.spatial_product_at(index) <= level.spatial_fanout
+
+    def test_compute_objective_encourages_spatial_mapping(self):
+        # With a compute-dominant objective the solver should parallelise
+        # heavily rather than run everything sequentially.
+        layer = Layer(c=64, k=64)
+        weights = ObjectiveWeights(utilization=0.0, compute=1.0, traffic=0.0)
+        _, _, mapping = self._schedule(layer, weights)
+        assert mapping.total_spatial_product() >= 64
+
+    def test_mip_constraints_all_satisfied_at_solution(self):
+        layer = Layer(r=3, p=4, c=8, k=8)
+        formulation, solution, _ = self._schedule(layer)
+        for constraint in formulation.model.constraints:
+            assert constraint.satisfied_by(solution.values), constraint.name
+
+    def test_objective_breakdown_matches_decoded_mapping(self):
+        """The MIP's objective terms must agree with the direct evaluation of the
+        decoded mapping (they encode the same Eq. 5/6/11 quantities)."""
+        layer = Layer(r=3, p=4, c=8, k=8)
+        formulation, solution, mapping = self._schedule(layer)
+        solver_side = formulation.objective_breakdown(solution)
+        mapping_side = mapping_objective_breakdown(mapping, ARCH)
+        assert solver_side.compute == pytest.approx(mapping_side.compute, abs=1e-6)
+        assert solver_side.utilization == pytest.approx(mapping_side.utilization, abs=1e-6)
+        assert solver_side.traffic == pytest.approx(mapping_side.traffic, abs=1e-6)
+
+    def test_decoded_mapping_is_valid_under_cost_model(self):
+        from repro.model import CostModel
+
+        layer = layer_from_name("3_14_128_256_1")
+        formulation = CoSAFormulation(layer, ARCH, capacity_fraction=0.5)
+        solution = formulation.solve()
+        mapping = formulation.decode(solution)
+        result = CostModel(ARCH).evaluate(mapping)
+        assert result.valid, result.violations
+
+    def test_stats_report_problem_size(self):
+        layer = Layer(c=16, k=16)
+        formulation = CoSAFormulation(layer, ARCH)
+        stats = formulation.stats
+        assert stats.num_prime_factors == 8
+        assert stats.num_variables > 0
+        assert stats.num_constraints > 0
+
+
+class TestMappingSideObjectives:
+    def test_compute_term_is_log_of_temporal_product(self):
+        from repro.mapping import Mapping
+
+        layer = Layer(p=4, c=8, k=16)
+        mapping = Mapping.from_factors(
+            layer,
+            temporal_factors=[{"P": 4}, {"C": 8}, {}, {}, {"K": 4}, {}],
+            spatial_factors=[{}, {}, {}, {}, {"K": 4}, {}],
+        )
+        assert mapping_compute(mapping) == pytest.approx(math.log(4 * 8 * 4))
+
+    def test_traffic_term_depends_on_permutation(self):
+        from repro.mapping import Mapping
+
+        # Asymmetric bounds (small P, large K) make the permutation matter:
+        # iterating the small P dimension outermost re-transfers far less data
+        # than iterating the large K dimension outermost.
+        layer = Layer(p=4, c=1, k=16)
+
+        def build(order):
+            return Mapping.from_factors(
+                layer,
+                temporal_factors=[{}, {}, {}, {}, {"P": 4, "K": 16}, {}],
+                permutations=[(), (), (), (), order, ()],
+            )
+
+        p_innermost = mapping_traffic(build(("P", "K")), ARCH)
+        k_innermost = mapping_traffic(build(("K", "P")), ARCH)
+        assert p_innermost > k_innermost
+
+    def test_utilization_counts_only_onchip_levels(self):
+        from repro.mapping import Mapping
+
+        layer = Layer(k=16)
+        all_outer = Mapping.from_factors(
+            layer, temporal_factors=[{}, {}, {}, {}, {"K": 16}, {}]
+        )
+        all_inner = Mapping.from_factors(
+            layer, temporal_factors=[{"K": 16}, {}, {}, {}, {}, {}]
+        )
+        assert mapping_utilization(all_inner, ARCH) > mapping_utilization(all_outer, ARCH)
+
+    def test_breakdown_total_uses_weights(self):
+        from repro.mapping import Mapping
+
+        layer = Layer(k=4)
+        mapping = Mapping.from_factors(layer, temporal_factors=[{"K": 4}, {}, {}, {}, {}, {}])
+        weights = ObjectiveWeights(utilization=2.0, compute=3.0, traffic=0.5)
+        breakdown = mapping_objective_breakdown(mapping, ARCH, weights)
+        expected = -2.0 * breakdown.utilization + 3.0 * breakdown.compute + 0.5 * breakdown.traffic
+        assert breakdown.total == pytest.approx(expected)
+
+
+class TestObjectiveWeights:
+    def test_scaled_replaces_selected_fields(self):
+        weights = ObjectiveWeights().scaled(traffic=5.0)
+        assert weights.traffic == 5.0
+        assert weights.compute == ObjectiveWeights().compute

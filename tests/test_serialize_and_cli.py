@@ -1,0 +1,97 @@
+"""Tests for mapping serialisation and the command-line interface."""
+
+import json
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.arch import simba_like
+from repro.cli import main as cli_main
+from repro.mapping import Mapping, MapSpace
+from repro.mapping.serialize import (
+    load_mapping,
+    mapping_from_dict,
+    mapping_to_dict,
+    save_mapping,
+)
+from repro.workloads import Layer, layer_from_name
+
+ARCH = simba_like()
+
+
+class TestSerialization:
+    def _mapping(self):
+        layer = Layer(r=3, s=3, p=4, q=4, c=8, k=16, name="roundtrip")
+        return Mapping.from_factors(
+            layer,
+            temporal_factors=[{"R": 3, "S": 3, "P": 4, "Q": 4}, {"C": 8}, {}, {}, {"K": 4}, {}],
+            spatial_factors=[{}, {}, {}, {}, {"K": 4}, {}],
+        )
+
+    def test_roundtrip_through_dict(self):
+        mapping = self._mapping()
+        restored = mapping_from_dict(mapping_to_dict(mapping))
+        assert restored.layer == mapping.layer
+        assert restored.summary() == mapping.summary()
+        assert restored.is_consistent()
+
+    def test_roundtrip_through_file(self, tmp_path):
+        mapping = self._mapping()
+        path = save_mapping(mapping, tmp_path / "mapping.json")
+        restored = load_mapping(path)
+        assert restored.summary() == mapping.summary()
+        # The file is plain JSON so other tools can consume it.
+        data = json.loads(path.read_text())
+        assert data["version"] == 1
+
+    def test_unknown_version_rejected(self):
+        data = mapping_to_dict(self._mapping())
+        data["version"] = 99
+        with pytest.raises(ValueError):
+            mapping_from_dict(data)
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(min_value=0, max_value=5000))
+    def test_random_mappings_roundtrip(self, seed):
+        import random
+
+        layer = layer_from_name("3_14_128_256_1")
+        mapping = MapSpace(layer, ARCH).random_mapping(random.Random(seed))
+        restored = mapping_from_dict(mapping_to_dict(mapping))
+        assert restored.summary() == mapping.summary()
+        for dim, bound in layer.bounds.items():
+            assert restored.dim_product(dim) == bound
+
+
+class TestCLI:
+    def test_networks_listing(self, capsys):
+        assert cli_main(["networks"]) == 0
+        output = capsys.readouterr().out
+        assert "resnet50" in output
+        assert "3_7_512_512_1" in output
+
+    def test_archs_listing(self, capsys):
+        assert cli_main(["archs"]) == 0
+        output = capsys.readouterr().out
+        assert "baseline-4x4" in output
+        assert "GlobalBuffer" in output
+
+    def test_schedule_with_random_scheduler(self, capsys, tmp_path):
+        save_path = tmp_path / "m.json"
+        code = cli_main(
+            ["schedule", "3_13_256_256_1", "--scheduler", "random", "--save", str(save_path)]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "analytical latency" in output
+        assert save_path.exists()
+        assert load_mapping(save_path).is_consistent()
+
+    def test_schedule_with_cosa_on_noc_platform(self, capsys):
+        code = cli_main(
+            ["schedule", "3_13_192_384_1", "--scheduler", "cosa", "--platform", "noc"]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "CoSA solve" in output
+        assert "NoC-simulated latency" in output
