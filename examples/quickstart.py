@@ -36,6 +36,18 @@ def main() -> None:
     print(f"energy  : {cost.energy / 1e6:.3f} uJ")
     print(f"PE-lane utilization: {cost.utilization:.1%}")
 
+    # 5. For whole networks, drive the scheduler through the engine instead:
+    #    parallel solves, identical-layer dedup and a reusable mapping cache.
+    from repro.engine import SchedulingEngine
+    from repro.workloads import workload_suite
+
+    engine = SchedulingEngine(scheduler)
+    network = engine.schedule_network(workload_suite()["resnet50"][:2], jobs=2)
+    print()
+    print(f"engine: {network.num_succeeded}/{len(network.outcomes)} layers scheduled "
+          f"in {network.stats.wall_time_seconds:.1f}s "
+          f"({network.stats.solves} solves, {network.stats.dedup_reuses} reused)")
+
 
 if __name__ == "__main__":
     main()

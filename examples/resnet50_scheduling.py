@@ -2,9 +2,12 @@
 
 Reproduces the flavour of Fig. 6 on a handful of layers: per-layer latency of
 Random search, the Timeloop-Hybrid-style mapper and CoSA, all evaluated with
-the analytical cost model.
+the analytical cost model.  Every scheduler is driven through the
+:class:`~repro.engine.engine.SchedulingEngine`, which solves the layers in
+parallel and caches finished mappings: pass a cache file and a second run of
+this script performs no solves at all.
 
-Run:  python examples/resnet50_scheduling.py [num_layers]
+Run:  python examples/resnet50_scheduling.py [num_layers] [jobs] [cache_file]
 """
 
 import sys
@@ -12,35 +15,54 @@ import sys
 from repro.arch import simba_like
 from repro.baselines import RandomScheduler, TimeloopHybridScheduler
 from repro.core import CoSAScheduler
+from repro.engine import MappingCache, SchedulingEngine
 from repro.experiments.harness import geometric_mean
-from repro.model import CostModel
 from repro.workloads import workload_suite
 
 
-def main(num_layers: int = 5) -> None:
+def main(num_layers: int = 5, jobs: int = 2, cache_file: str | None = None) -> None:
     accelerator = simba_like()
-    cost_model = CostModel(accelerator)
     layers = workload_suite()["resnet50"][:num_layers]
 
-    random_search = RandomScheduler(accelerator)
-    hybrid = TimeloopHybridScheduler(accelerator, num_threads=2, termination_condition=64,
-                                     max_evaluations=800)
-    cosa = CoSAScheduler(accelerator)
+    # One shared cache: the key includes the scheduler identity, so all three
+    # schedulers can use the same store without collisions.
+    cache = MappingCache(path=cache_file)
+    schedulers = [
+        RandomScheduler(accelerator),
+        TimeloopHybridScheduler(accelerator, num_threads=2, termination_condition=64,
+                                max_evaluations=800),
+        CoSAScheduler(accelerator),
+    ]
+    networks = {}
+    for scheduler in schedulers:
+        engine = SchedulingEngine(scheduler, cache=cache)
+        networks[scheduler.name] = engine.schedule_network(layers, jobs=jobs, label="resnet50")
+        stats = networks[scheduler.name].stats
+        print(f"[{scheduler.name}] {stats.solves} solves, {stats.dedup_reuses} dedup reuses, "
+              f"{stats.wall_time_seconds:.1f}s wall")
 
+    print()
     print(f"{'layer':20s} {'Random':>12s} {'Hybrid':>12s} {'CoSA':>12s} {'CoSA speedup':>14s}")
     speedups = []
-    for layer in layers:
-        random_latency = random_search.schedule(layer).cost.latency
-        hybrid_latency = hybrid.schedule(layer).cost.latency
-        cosa_mapping = cosa.schedule(layer).mapping
-        cosa_latency = cost_model.evaluate(cosa_mapping).latency
-        speedups.append(random_latency / cosa_latency)
+    for index, layer in enumerate(layers):
+        latencies = {
+            name: network.outcomes[index].metrics.get("latency", float("inf"))
+            for name, network in networks.items()
+        }
+        speedups.append(latencies["random"] / latencies["cosa"])
         print(
-            f"{layer.name:20s} {random_latency:12.3e} {hybrid_latency:12.3e} "
-            f"{cosa_latency:12.3e} {speedups[-1]:13.2f}x"
+            f"{layer.name:20s} {latencies['random']:12.3e} {latencies['timeloop-hybrid']:12.3e} "
+            f"{latencies['cosa']:12.3e} {speedups[-1]:13.2f}x"
         )
     print(f"\ngeomean CoSA speedup over Random: {geometric_mean(speedups):.2f}x")
+    if cache_file is not None:
+        cache.save()
+        print(f"mapping cache written to {cache_file}")
 
 
 if __name__ == "__main__":
-    main(int(sys.argv[1]) if len(sys.argv) > 1 else 5)
+    main(
+        int(sys.argv[1]) if len(sys.argv) > 1 else 5,
+        int(sys.argv[2]) if len(sys.argv) > 2 else 2,
+        sys.argv[3] if len(sys.argv) > 3 else None,
+    )

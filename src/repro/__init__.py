@@ -42,14 +42,20 @@ __all__ = [
     "workload_suite",
     "Mapping",
     "CoSAScheduler",
+    "SchedulingEngine",
+    "MappingCache",
     "__version__",
 ]
 
 
 def __getattr__(name: str):
-    """Lazily expose the scheduler to avoid importing scipy at package import time."""
+    """Lazily expose the scheduler/engine to avoid importing scipy at package import time."""
     if name == "CoSAScheduler":
         from repro.core.scheduler import CoSAScheduler
 
         return CoSAScheduler
+    if name in ("SchedulingEngine", "MappingCache"):
+        import repro.engine as engine
+
+        return getattr(engine, name)
     raise AttributeError(f"module 'repro' has no attribute {name!r}")

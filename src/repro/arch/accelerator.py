@@ -123,6 +123,59 @@ class Accelerator:
         # Single-PE degenerate configuration: use the outermost on-chip level.
         return len(self.hierarchy) - 2
 
+    def fingerprint(self) -> str:
+        """Deterministic content digest of the full architecture description.
+
+        Covers everything a scheduler's output can depend on: the memory
+        hierarchy (capacities, tensor bindings, fanouts, bandwidths), the PE
+        array, the NoC parameters, the datatype precisions and the energy
+        table.  Two accelerators with equal fingerprints are interchangeable
+        for scheduling, which is what lets the mapping cache
+        (:mod:`repro.engine.cache`) key entries by architecture content
+        instead of by preset name.
+        """
+        from repro.digest import stable_digest
+
+        payload = {
+            "hierarchy": [
+                {
+                    "name": level.name,
+                    "capacity_bytes": level.capacity_bytes,
+                    "tensors": sorted(t.name for t in level.tensors),
+                    "spatial_fanout": level.spatial_fanout,
+                    "bandwidth": level.bandwidth_words_per_cycle,
+                }
+                for level in self.hierarchy
+            ],
+            "pe_array": {
+                "rows": self.pe_array.rows,
+                "cols": self.pe_array.cols,
+                "macs_per_pe": self.pe_array.macs_per_pe,
+                "mac_throughput": self.pe_array.mac_throughput,
+            },
+            "noc": {
+                "flit_bits": self.noc.flit_bits,
+                "link_bandwidth_flits": self.noc.link_bandwidth_flits,
+                "router_latency": self.noc.router_latency,
+                "multicast": self.noc.multicast,
+                "routing": self.noc.routing,
+                "dram_bandwidth": self.noc.dram_bandwidth_bytes_per_cycle,
+                "dram_latency": self.noc.dram_latency_cycles,
+            },
+            "precision": {
+                "weight": self.precision.weight_bytes,
+                "input": self.precision.input_bytes,
+                "output": self.precision.output_bytes,
+            },
+            "energy": {
+                "levels": dict(sorted(self.energy.level_energy_pj.items())),
+                "mac": self.energy.mac_energy_pj,
+                "noc_hop": self.energy.noc_hop_energy_pj,
+                "default_sram": self.energy.default_sram_pj,
+            },
+        }
+        return stable_digest(payload)
+
     def describe(self) -> str:
         """Human-readable multi-line summary (architecture 'spec sheet')."""
         lines = [

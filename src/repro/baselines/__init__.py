@@ -12,7 +12,7 @@
   experiment (Sec. V-D).
 """
 
-from repro.baselines.base import SearchResult, SearchScheduler
+from repro.baselines.base import SearchResult, SearchScheduler, stable_layer_seed
 from repro.baselines.random_search import RandomScheduler
 from repro.baselines.timeloop_hybrid import TimeloopHybridScheduler
 from repro.baselines.tvm_like import TVMLikeTuner
@@ -20,6 +20,7 @@ from repro.baselines.tvm_like import TVMLikeTuner
 __all__ = [
     "SearchResult",
     "SearchScheduler",
+    "stable_layer_seed",
     "RandomScheduler",
     "TimeloopHybridScheduler",
     "TVMLikeTuner",

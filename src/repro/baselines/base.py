@@ -1,11 +1,36 @@
-"""Shared machinery of the search-based baseline schedulers."""
+"""Shared machinery of the search-based baseline schedulers.
+
+Besides the classic :class:`SearchResult`, this module hosts the shared
+adapter that makes every search baseline satisfy the engine's
+:class:`~repro.engine.outcome.Scheduler` protocol: a stable scheduler
+``name``, a deterministic :meth:`SearchScheduler.config_fingerprint` (used in
+mapping-cache keys) and :meth:`SearchScheduler.schedule_outcome`, which
+converts the native :class:`SearchResult` into the unified
+:class:`~repro.engine.outcome.ScheduleOutcome`.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.digest import canonical_json, stable_seed32
+from repro.engine.outcome import ScheduleOutcome
 from repro.mapping.mapping import Mapping
 from repro.model.cost import CostResult
+from repro.workloads.layer import Layer
+
+
+def stable_layer_seed(*parts) -> int:
+    """Deterministic 32-bit seed derived from arbitrary key parts.
+
+    The baselines previously seeded their per-layer RNGs with
+    ``hash((seed, layer.canonical_name))``, which changes between processes
+    under string-hash randomisation.  A content hash makes per-layer seeds
+    reproducible across processes — a prerequisite for the engine's
+    guarantee that serial, threaded and process-pool runs produce identical
+    mappings.
+    """
+    return stable_seed32(*parts)
 
 
 @dataclass
@@ -46,6 +71,9 @@ class SearchScheduler:
     #: Supported optimisation metrics.
     METRICS = ("latency", "energy", "edp")
 
+    #: Scheduler identifier (subclasses override; used in reports and cache keys).
+    name = "search"
+
     def __init__(self, metric: str = "latency"):
         if metric not in self.METRICS:
             raise ValueError(f"unknown metric {metric!r}; expected one of {self.METRICS}")
@@ -60,3 +88,32 @@ class SearchScheduler:
         if self.metric == "energy":
             return cost.energy
         return cost.edp
+
+    # -------------------------------------------------------- engine protocol
+    def _config(self) -> dict:
+        """Configuration entering the fingerprint (subclasses extend)."""
+        return {"metric": self.metric}
+
+    def config_fingerprint(self) -> str:
+        """Deterministic description of this scheduler's configuration.
+
+        Everything that can change the produced mapping — metric, budgets,
+        seeds — must appear here, because the fingerprint keys the mapping
+        cache (:func:`repro.engine.cache.cache_key`).
+        """
+        return canonical_json(self._config())
+
+    def schedule_outcome(self, layer: Layer) -> ScheduleOutcome:
+        """Run :meth:`schedule` and report the unified outcome."""
+        result = self.schedule(layer)
+        mapping = result.mapping if result.succeeded else None
+        return ScheduleOutcome(
+            layer=layer,
+            scheduler=self.name,
+            mapping=mapping,
+            wall_time_seconds=result.elapsed_seconds,
+            solve_time_seconds=result.elapsed_seconds,
+            num_sampled=result.num_sampled,
+            num_evaluated=result.num_evaluated,
+            detail=result,
+        )

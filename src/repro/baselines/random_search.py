@@ -12,7 +12,7 @@ import random
 import time
 
 from repro.arch.accelerator import Accelerator
-from repro.baselines.base import SearchResult, SearchScheduler
+from repro.baselines.base import SearchResult, SearchScheduler, stable_layer_seed
 from repro.mapping.space import MapSpace
 from repro.model.cost import CostModel
 from repro.workloads.layer import Layer
@@ -32,9 +32,11 @@ class RandomScheduler(SearchScheduler):
     metric:
         ``"latency"``, ``"energy"`` or ``"edp"``.
     seed:
-        Base seed; each layer perturbs it with its own hash so results are
-        deterministic but layers are decorrelated.
+        Base seed; each layer perturbs it with a content hash of its name so
+        results are deterministic but layers are decorrelated.
     """
+
+    name = "random"
 
     def __init__(
         self,
@@ -51,10 +53,18 @@ class RandomScheduler(SearchScheduler):
         self.seed = seed
         self._cost_model = CostModel(accelerator)
 
+    def _config(self) -> dict:
+        return {
+            **super()._config(),
+            "num_valid": self.num_valid,
+            "max_attempts": self.max_attempts,
+            "seed": self.seed,
+        }
+
     def schedule(self, layer: Layer) -> SearchResult:
         """Search for the best of ``num_valid`` random valid schedules of ``layer``."""
         start = time.perf_counter()
-        rng = random.Random((self.seed, layer.canonical_name).__hash__() & 0xFFFFFFFF)
+        rng = random.Random(stable_layer_seed(self.seed, layer.canonical_name))
         space = MapSpace(layer, self.accelerator)
 
         best_mapping = None

@@ -27,7 +27,7 @@ import time
 from itertools import islice, permutations
 
 from repro.arch.accelerator import Accelerator
-from repro.baselines.base import SearchResult, SearchScheduler
+from repro.baselines.base import SearchResult, SearchScheduler, stable_layer_seed
 from repro.mapping.mapping import LevelMapping, Loop, Mapping
 from repro.mapping.space import MapSpace
 from repro.model.cost import CostModel
@@ -56,6 +56,8 @@ class TimeloopHybridScheduler(SearchScheduler):
     seed:
         Base seed for the random factorisations.
     """
+
+    name = "timeloop-hybrid"
 
     def __init__(
         self,
@@ -89,6 +91,16 @@ class TimeloopHybridScheduler(SearchScheduler):
             seed=seed,
         )
 
+    def _config(self) -> dict:
+        return {
+            **super()._config(),
+            "num_threads": self.num_threads,
+            "termination_condition": self.termination_condition,
+            "max_permutations": self.max_permutations,
+            "max_evaluations": self.max_evaluations,
+            "seed": self.seed,
+        }
+
     # ----------------------------------------------------------------- search
     def schedule(self, layer: Layer) -> SearchResult:
         """Run the hybrid search for ``layer`` and return the best mapping found."""
@@ -103,9 +115,7 @@ class TimeloopHybridScheduler(SearchScheduler):
         evaluated = 0
 
         for thread in range(self.num_threads):
-            rng = random.Random(
-                ((self.seed, layer.canonical_name, thread).__hash__()) & 0xFFFFFFFF
-            )
+            rng = random.Random(stable_layer_seed(self.seed, layer.canonical_name, thread))
             consecutive_suboptimal = 0
             thread_best = float("inf")
             while (

@@ -16,7 +16,7 @@ import random
 import time
 
 from repro.arch.accelerator import Accelerator
-from repro.baselines.base import SearchResult, SearchScheduler
+from repro.baselines.base import SearchResult, SearchScheduler, stable_layer_seed
 from repro.mapping.mapping import LevelMapping, Loop, Mapping
 from repro.mapping.space import MapSpace
 from repro.model.cost import CostModel
@@ -43,6 +43,8 @@ class TVMLikeTuner(SearchScheduler):
         Base random seed.
     """
 
+    name = "tvm-like"
+
     def __init__(
         self,
         accelerator: Accelerator,
@@ -64,10 +66,19 @@ class TVMLikeTuner(SearchScheduler):
         self.seed = seed
         self._cost_model = CostModel(accelerator)
 
+    def _config(self) -> dict:
+        return {
+            **super()._config(),
+            "trials": self.trials,
+            "batch_size": self.batch_size,
+            "exploration": self.exploration,
+            "seed": self.seed,
+        }
+
     def schedule(self, layer: Layer) -> SearchResult:
         """Tune ``layer`` for ``trials`` measurement rounds and return the best mapping."""
         start = time.perf_counter()
-        rng = random.Random((self.seed, layer.canonical_name).__hash__() & 0xFFFFFFFF)
+        rng = random.Random(stable_layer_seed(self.seed, layer.canonical_name))
         space = MapSpace(layer, self.accelerator)
 
         population: list[tuple[float, Mapping]] = []

@@ -3,23 +3,35 @@
 Schedule a layer from the shell and inspect the result without writing any
 Python::
 
-    python -m repro.cli schedule 3_7_512_512_1                 # CoSA, baseline arch
-    python -m repro.cli schedule 3_7_512_512_1 --arch pe-8x8   # Fig. 9a variant
-    python -m repro.cli schedule 3_7_512_512_1 --scheduler hybrid --platform noc
-    python -m repro.cli networks                                # list evaluated workloads
+    repro schedule 3_7_512_512_1                 # CoSA, baseline arch
+    repro schedule 3_7_512_512_1 --arch pe-8x8   # Fig. 9a variant
+    repro schedule 3_7_512_512_1 --scheduler hybrid --platform noc
+    repro compare resnet50 --layers 4 --jobs 4   # three-scheduler comparison
+    repro suite --jobs 4 --cache mappings.json   # CoSA over all four networks
+    repro networks                               # list evaluated workloads
+
+(``python -m repro.cli`` works identically when the package is not
+installed.)  All subcommands route their diagnostics through a single
+summary path: nothing is printed until the run is complete, so a failed run
+produces an error on stderr and exit code 1 instead of a half-written
+report.  ``compare`` and ``suite`` accept ``--json`` for machine-readable
+output, ``--jobs`` for parallel layer solves, and ``--cache FILE`` to
+persist and reuse the mapping cache across invocations.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 from repro.arch import architecture_presets
-from repro.baselines import RandomScheduler, TimeloopHybridScheduler
+from repro.baselines import RandomScheduler, TimeloopHybridScheduler, TVMLikeTuner
 from repro.core import CoSAScheduler
+from repro.engine import MappingCache, SchedulingEngine
+from repro.experiments.harness import ComparisonConfig, compare_on_network
 from repro.mapping import render_loop_nest
 from repro.mapping.serialize import save_mapping
-from repro.model import CostModel
 from repro.noc import NoCSimulator
 from repro.workloads import layer_from_name, workload_suite
 
@@ -32,7 +44,7 @@ def _build_parser() -> argparse.ArgumentParser:
     schedule.add_argument("layer", help="layer in R_P_C_K_Stride form, e.g. 3_7_512_512_1")
     schedule.add_argument("--arch", default="baseline-4x4", choices=sorted(architecture_presets()))
     schedule.add_argument(
-        "--scheduler", default="cosa", choices=("cosa", "random", "hybrid"),
+        "--scheduler", default="cosa", choices=("cosa", "random", "hybrid", "tvm"),
         help="which scheduler generates the mapping",
     )
     schedule.add_argument(
@@ -41,46 +53,231 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     schedule.add_argument("--batch", type=int, default=1, help="batch size N")
     schedule.add_argument("--save", metavar="FILE", help="write the mapping to a JSON file")
+    schedule.add_argument("--json", action="store_true", help="machine-readable output")
+
+    compare = sub.add_parser(
+        "compare", help="compare Random / Timeloop-Hybrid / CoSA on a network"
+    )
+    compare.add_argument("network", choices=sorted(workload_suite()), help="workload to compare on")
+    compare.add_argument("--arch", default="baseline-4x4", choices=sorted(architecture_presets()))
+    compare.add_argument(
+        "--platform", default="timeloop", choices=("timeloop", "noc"),
+        help="evaluation platform for the schedules",
+    )
+    compare.add_argument("--metric", default="latency", choices=("latency", "energy"))
+    compare.add_argument("--layers", type=int, default=None, help="only the first N layers")
+    compare.add_argument("--batch", type=int, default=1, help="batch size N")
+    compare.add_argument("--seed", type=int, default=0, help="base seed for the baselines")
+    _add_engine_arguments(compare)
+
+    suite = sub.add_parser("suite", help="schedule every network of the evaluated suite")
+    suite.add_argument("--arch", default="baseline-4x4", choices=sorted(architecture_presets()))
+    suite.add_argument(
+        "--scheduler", default="cosa", choices=("cosa", "random", "hybrid", "tvm"),
+        help="which scheduler runs the suite",
+    )
+    suite.add_argument("--layers", type=int, default=None, help="only the first N layers per network")
+    suite.add_argument("--batch", type=int, default=1, help="batch size N")
+    _add_engine_arguments(suite)
 
     sub.add_parser("networks", help="list the evaluated DNN workloads and their layers")
     sub.add_parser("archs", help="list the available architecture presets")
     return parser
 
 
+def _positive_int(value: str) -> int:
+    number = int(value)
+    if number < 1:
+        raise argparse.ArgumentTypeError(f"must be a positive integer, got {value}")
+    return number
+
+
+def _add_engine_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--jobs", type=_positive_int, default=1, help="parallel layer solves")
+    parser.add_argument(
+        "--cache", metavar="FILE", default=None,
+        help="mapping-cache file, loaded before and saved after the run",
+    )
+    parser.add_argument("--json", action="store_true", help="machine-readable output")
+
+
+def _make_scheduler(name: str, accelerator, seed: int = 0):
+    if name == "cosa":
+        return CoSAScheduler(accelerator)
+    if name == "random":
+        return RandomScheduler(accelerator, seed=seed)
+    if name == "hybrid":
+        return TimeloopHybridScheduler(accelerator, seed=seed)
+    return TVMLikeTuner(accelerator, seed=seed)
+
+
+def _solve_description(outcome) -> str:
+    """One-line solve summary matched to the scheduler kind."""
+    if outcome.from_cache:
+        return f"{outcome.scheduler}: served from mapping cache"
+    detail = outcome.detail
+    if outcome.scheduler == "cosa":
+        return f"CoSA solve: {detail.solution.status.value} in {outcome.solve_time_seconds:.1f}s"
+    if outcome.scheduler == "random":
+        return f"Random search: {outcome.num_sampled} samples, {outcome.num_evaluated} valid"
+    if outcome.scheduler == "timeloop-hybrid":
+        return f"Hybrid search: {outcome.num_evaluated} valid mappings evaluated"
+    return f"TVM-like tuner: {outcome.num_sampled} samples, {outcome.num_evaluated} valid"
+
+
 def _schedule(args) -> int:
     accelerator = architecture_presets()[args.arch]
     layer = layer_from_name(args.layer, batch=args.batch)
+    scheduler = _make_scheduler(args.scheduler, accelerator)
+    # The text path evaluates the cost model itself (it needs the latency
+    # breakdown); only the --json path consumes the engine's metrics dict.
+    engine = SchedulingEngine(scheduler, evaluate_metrics=args.json)
+    outcome = engine.schedule_layer(layer)
 
-    if args.scheduler == "cosa":
-        result = CoSAScheduler(accelerator).schedule(layer)
-        mapping = result.mapping
-        print(f"CoSA solve: {result.solution.status.value} in {result.solve_time_seconds:.1f}s")
-    elif args.scheduler == "random":
-        search = RandomScheduler(accelerator).schedule(layer)
-        mapping = search.mapping
-        print(f"Random search: {search.num_sampled} samples, {search.num_evaluated} valid")
-    else:
-        search = TimeloopHybridScheduler(accelerator).schedule(layer)
-        mapping = search.mapping
-        print(f"Hybrid search: {search.num_evaluated} valid mappings evaluated")
-
-    if mapping is None:
-        print("no valid schedule found", file=sys.stderr)
+    # Single summary path: gather every line first, print only on success.
+    if not outcome.succeeded:
+        if args.json:
+            print(json.dumps(outcome.to_dict(), indent=2))
+        else:
+            print(
+                f"{_solve_description(outcome)}\nno valid schedule found for {args.layer}",
+                file=sys.stderr,
+            )
         return 1
 
-    print()
-    print(render_loop_nest(mapping, level_names=list(accelerator.hierarchy.names)))
-    print()
-    cost = CostModel(accelerator).evaluate(mapping)
-    print(f"analytical latency: {cost.latency / 1e6:.3f} MCycles "
-          f"(bound by {cost.latency_breakdown.bound_by})")
-    print(f"analytical energy : {cost.energy / 1e6:.3f} uJ")
+    noc_result = None
     if args.platform == "noc":
-        noc = NoCSimulator(accelerator).simulate(mapping)
-        print(f"NoC-simulated latency: {noc.latency / 1e6:.3f} MCycles (bound by {noc.bound_by})")
+        noc_result = NoCSimulator(accelerator).simulate(outcome.mapping)
+
+    if args.json:
+        data = outcome.to_dict()
+        data["loop_nest"] = render_loop_nest(
+            outcome.mapping, level_names=list(accelerator.hierarchy.names)
+        )
+        if noc_result is not None:
+            data["noc_latency"] = noc_result.latency
+        if args.save:
+            data["saved_to"] = str(save_mapping(outcome.mapping, args.save))
+        print(json.dumps(data, indent=2))
+        return 0
+
+    from repro.model import CostModel
+
+    cost = CostModel(accelerator).evaluate(outcome.mapping)
+    lines = [_solve_description(outcome), ""]
+    lines.append(render_loop_nest(outcome.mapping, level_names=list(accelerator.hierarchy.names)))
+    lines.append("")
+    lines.append(
+        f"analytical latency: {cost.latency / 1e6:.3f} MCycles "
+        f"(bound by {cost.latency_breakdown.bound_by})"
+    )
+    lines.append(f"analytical energy : {cost.energy / 1e6:.3f} uJ")
+    if noc_result is not None:
+        lines.append(
+            f"NoC-simulated latency: {noc_result.latency / 1e6:.3f} MCycles "
+            f"(bound by {noc_result.bound_by})"
+        )
     if args.save:
-        path = save_mapping(mapping, args.save)
-        print(f"mapping written to {path}")
+        path = save_mapping(outcome.mapping, args.save)
+        lines.append(f"mapping written to {path}")
+    print("\n".join(lines))
+    return 0
+
+
+def _compare(args) -> int:
+    accelerator = architecture_presets()[args.arch]
+    layers = workload_suite(batch=args.batch)[args.network]
+    if args.layers is not None:
+        layers = layers[: args.layers]
+    config = ComparisonConfig(
+        accelerator=accelerator, platform=args.platform, metric=args.metric, seed=args.seed
+    )
+    cache = MappingCache(path=args.cache) if args.cache else None
+    summary = compare_on_network(args.network, layers, config, jobs=args.jobs, cache=cache)
+    if cache is not None:
+        cache.save()
+
+    if args.json:
+        data = {
+            "label": summary.label,
+            "platform": args.platform,
+            "metric": args.metric,
+            "comparisons": [
+                {
+                    "layer": c.layer,
+                    "random_value": c.random_value,
+                    "hybrid_value": c.hybrid_value,
+                    "cosa_value": c.cosa_value,
+                    "hybrid_speedup": c.hybrid_speedup,
+                    "cosa_speedup": c.cosa_speedup,
+                    "random_time": c.random_time,
+                    "hybrid_time": c.hybrid_time,
+                    "cosa_time": c.cosa_time,
+                }
+                for c in summary.comparisons
+            ],
+            "hybrid_geomean": summary.hybrid_geomean,
+            "cosa_geomean": summary.cosa_geomean,
+            "engine_stats": {name: s.to_dict() for name, s in summary.engine_stats.items()},
+        }
+        print(json.dumps(data, indent=2))
+        return 0
+
+    lines = [f"[{summary.label}] {args.platform}/{args.metric} speedups over Random"]
+    for c in summary.comparisons:
+        lines.append(
+            f"  {c.layer:<20} hybrid {c.hybrid_speedup:6.2f}x   cosa {c.cosa_speedup:6.2f}x"
+            f"   (times: {c.random_time:.2f}s / {c.hybrid_time:.2f}s / {c.cosa_time:.2f}s)"
+        )
+    lines.append(
+        f"  geomean              hybrid {summary.hybrid_geomean:6.2f}x   "
+        f"cosa {summary.cosa_geomean:6.2f}x"
+    )
+    for name, stats in summary.engine_stats.items():
+        lines.append(
+            f"  [{name}] solves={stats.solves} cache_hits={stats.cache_hits} "
+            f"cache_misses={stats.cache_misses} dedup_reuses={stats.dedup_reuses}"
+        )
+    print("\n".join(lines))
+    return 0
+
+
+def _suite(args) -> int:
+    accelerator = architecture_presets()[args.arch]
+    scheduler = _make_scheduler(args.scheduler, accelerator)
+    cache = MappingCache(path=args.cache) if args.cache else None
+    engine = SchedulingEngine(scheduler, cache=cache)
+
+    suite = workload_suite(batch=args.batch)
+    if args.layers is not None:
+        suite = {name: layers[: args.layers] for name, layers in suite.items()}
+    result = engine.schedule_suite(suite, jobs=args.jobs)
+    if cache is not None:
+        cache.save()
+
+    if args.json:
+        print(json.dumps(result.to_dict(), indent=2))
+        return 0 if all(n.num_succeeded == len(n.outcomes) for n in result.networks.values()) else 1
+
+    lines = [f"{scheduler.name} on {len(result.networks)} networks ({args.arch})"]
+    for name, network in result.networks.items():
+        stats = network.stats
+        lines.append(
+            f"  {name:<12} {network.num_succeeded}/{len(network.outcomes)} scheduled"
+            f"  solves={stats.solves} cache_hits={stats.cache_hits}"
+            f" dedup_reuses={stats.dedup_reuses} wall={stats.wall_time_seconds:.1f}s"
+        )
+    total = result.stats
+    lines.append(
+        f"  total        layers={total.num_layers} solves={total.solves}"
+        f" cache_hits={total.cache_hits} cache_misses={total.cache_misses}"
+        f" wall={total.wall_time_seconds:.1f}s"
+    )
+    print("\n".join(lines))
+    failed = sum(len(n.outcomes) - n.num_succeeded for n in result.networks.values())
+    if failed:
+        print(f"{failed} layers produced no valid schedule", file=sys.stderr)
+        return 1
     return 0
 
 
@@ -105,6 +302,10 @@ def main(argv=None) -> int:
     args = _build_parser().parse_args(argv)
     if args.command == "schedule":
         return _schedule(args)
+    if args.command == "compare":
+        return _compare(args)
+    if args.command == "suite":
+        return _suite(args)
     if args.command == "networks":
         return _networks()
     return _archs()

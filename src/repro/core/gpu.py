@@ -18,6 +18,7 @@ from dataclasses import dataclass
 from repro.arch.gpu import GPUSpec, gpu_as_accelerator
 from repro.core.objectives import ObjectiveWeights
 from repro.core.scheduler import CoSAScheduler, ScheduleResult
+from repro.engine.outcome import ScheduleOutcome
 from repro.workloads.layer import Layer
 
 
@@ -57,6 +58,9 @@ class CoSAGPUScheduler:
         MIP backend override.
     """
 
+    #: Scheduler identifier (engine reports and mapping-cache keys).
+    name = "cosa-gpu"
+
     def __init__(self, gpu: GPUSpec | None = None, weights: ObjectiveWeights | None = None, backend=None):
         self.gpu = gpu or GPUSpec()
         self.accelerator = gpu_as_accelerator(self.gpu)
@@ -82,3 +86,22 @@ class CoSAGPUScheduler:
     def schedule_network(self, layers) -> list[GPUScheduleResult]:
         """Schedule every layer of a network independently."""
         return [self.schedule(layer) for layer in layers]
+
+    # -------------------------------------------------------- engine protocol
+    def config_fingerprint(self) -> str:
+        """Deterministic configuration description (mapping-cache key part)."""
+        return self._scheduler.config_fingerprint()
+
+    def schedule_outcome(self, layer: Layer) -> ScheduleOutcome:
+        """Run :meth:`schedule` and report the unified engine outcome."""
+        result = self.schedule(layer)
+        return ScheduleOutcome(
+            layer=layer,
+            scheduler=self.name,
+            mapping=result.mapping,
+            wall_time_seconds=result.solve_time_seconds,
+            solve_time_seconds=result.solve_time_seconds,
+            num_sampled=1,
+            num_evaluated=1,
+            detail=result,
+        )

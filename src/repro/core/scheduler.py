@@ -13,6 +13,8 @@ from dataclasses import dataclass, field
 from repro.arch.accelerator import Accelerator
 from repro.core.formulation import CoSAFormulation, FormulationStats
 from repro.core.objectives import ObjectiveBreakdown, ObjectiveWeights
+from repro.digest import canonical_json
+from repro.engine.outcome import ScheduleOutcome
 from repro.mapping.mapping import Mapping
 from repro.solver.solution import Solution, SolveStatus
 from repro.workloads.layer import Layer
@@ -38,7 +40,8 @@ class ScheduleResult:
         Wall-clock time spent building + solving the MIP (the paper's
         time-to-solution metric).
     stats:
-        Size of the generated MIP.
+        Size of the generated MIP, or ``None`` when no formulation could be
+        built (every capacity fraction failed before producing one).
     """
 
     layer: Layer
@@ -46,7 +49,7 @@ class ScheduleResult:
     solution: Solution
     objective: ObjectiveBreakdown | None
     solve_time_seconds: float
-    stats: FormulationStats
+    stats: FormulationStats | None
 
     @property
     def succeeded(self) -> bool:
@@ -75,6 +78,9 @@ class CoSAScheduler:
         Buffer-capacity derating used inside the MIP (see
         :class:`~repro.core.formulation.CoSAFormulation`).
     """
+
+    #: Scheduler identifier (engine reports and mapping-cache keys).
+    name = "cosa"
 
     #: Default per-layer solver budget (seconds).
     DEFAULT_TIME_LIMIT = 20.0
@@ -155,6 +161,60 @@ class CoSAScheduler:
             stats=formulation.stats if formulation is not None else None,
         )
 
-    def schedule_network(self, layers) -> list[ScheduleResult]:
-        """Schedule every layer of a network (one independent solve per layer)."""
-        return [self.schedule(layer) for layer in layers]
+    def schedule_network(self, layers, jobs: int = 1) -> list[ScheduleResult]:
+        """Schedule every layer of a network (one independent solve per layer).
+
+        ``jobs > 1`` delegates to the :class:`~repro.engine.engine.SchedulingEngine`
+        for parallel solves with identical-layer de-duplication; results keep
+        the input order and match the serial path (up to solver incumbents
+        when a solve terminates on its wall-clock limit — see the engine's
+        determinism notes).
+        """
+        if jobs == 1:
+            return [self.schedule(layer) for layer in layers]
+        from repro.engine import SchedulingEngine
+
+        network = SchedulingEngine(self, evaluate_metrics=False).schedule_network(
+            layers, jobs=jobs
+        )
+        return [outcome.detail for outcome in network.outcomes]
+
+    # -------------------------------------------------------- engine protocol
+    def config_fingerprint(self) -> str:
+        """Deterministic configuration description (mapping-cache key part).
+
+        The backend enters with its class name and every scalar attribute it
+        carries (time limits, gaps, node budgets, ...), so two schedulers
+        with differently-budgeted backends never share a cache key.
+        """
+        backend_config = {
+            name: value
+            for name, value in sorted(vars(self.backend).items())
+            if isinstance(value, (bool, int, float, str, type(None)))
+        }
+        config = {
+            "weights": {
+                "utilization": self.weights.utilization,
+                "compute": self.weights.compute,
+                "traffic": self.weights.traffic,
+            },
+            "capacity_fraction": self.capacity_fraction,
+            "fallback_fractions": list(self.FALLBACK_FRACTIONS),
+            "backend": type(self.backend).__name__,
+            "backend_config": backend_config,
+        }
+        return canonical_json(config)
+
+    def schedule_outcome(self, layer: Layer) -> ScheduleOutcome:
+        """Run :meth:`schedule` and report the unified engine outcome."""
+        result = self.schedule(layer)
+        return ScheduleOutcome(
+            layer=layer,
+            scheduler=self.name,
+            mapping=result.mapping,
+            wall_time_seconds=result.solve_time_seconds,
+            solve_time_seconds=result.solve_time_seconds,
+            num_sampled=1,
+            num_evaluated=1,
+            detail=result,
+        )

@@ -1,0 +1,37 @@
+"""Canonical content digests shared across the code base.
+
+Fingerprints (:meth:`repro.arch.accelerator.Accelerator.fingerprint`,
+``config_fingerprint`` on every scheduler), mapping-cache keys
+(:mod:`repro.engine.cache`) and per-layer RNG seeds
+(:func:`repro.baselines.base.stable_layer_seed`) all rely on the same
+recipe: serialize deterministically, then hash.  Keeping the recipe here —
+one canonical JSON form, one hash — guarantees that every writer and reader
+of a persisted key agrees on it; a divergent copy would silently split
+cache keys between producers and consumers.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+
+
+def canonical_json(payload) -> str:
+    """Deterministic JSON serialisation (sorted keys, no whitespace)."""
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def stable_digest(payload) -> str:
+    """Hex sha256 of the canonical JSON form of ``payload``."""
+    return hashlib.sha256(canonical_json(payload).encode()).hexdigest()
+
+
+def stable_seed32(*parts) -> int:
+    """Deterministic 32-bit integer derived from arbitrary key parts.
+
+    Unlike ``hash()``, the result does not change between processes under
+    string-hash randomisation, so seeds derived from it are reproducible
+    across serial, threaded and process-pool runs.
+    """
+    blob = "\x1f".join(str(part) for part in parts).encode()
+    return int.from_bytes(hashlib.sha256(blob).digest()[:4], "big")

@@ -5,7 +5,11 @@ for each layer, generate a schedule with Random search, the Timeloop-Hybrid
 mapper and CoSA, evaluate all three on one evaluation platform (the
 analytical "Timeloop" model or the NoC simulator) and report per-layer and
 geometric-mean speedups relative to Random.  This module implements that
-pipeline once.
+pipeline once, as a thin wrapper over the
+:class:`~repro.engine.engine.SchedulingEngine`: one engine per scheduler
+drives the layers (optionally in parallel and against a shared mapping
+cache), and the harness only evaluates the resulting mappings on the chosen
+platform and shapes the comparison rows.
 """
 
 from __future__ import annotations
@@ -18,6 +22,7 @@ from repro.arch.accelerator import Accelerator
 from repro.baselines import RandomScheduler, TimeloopHybridScheduler
 from repro.core.objectives import ObjectiveWeights
 from repro.core.scheduler import CoSAScheduler
+from repro.engine import EngineStats, MappingCache, SchedulingEngine
 from repro.mapping.mapping import Mapping
 from repro.model.cost import CostModel
 from repro.noc.simulator import NoCSimulator
@@ -103,10 +108,16 @@ class LayerComparison:
 
 @dataclass
 class SpeedupSummary:
-    """Geometric-mean summary of a set of :class:`LayerComparison` rows."""
+    """Geometric-mean summary of a set of :class:`LayerComparison` rows.
+
+    ``engine_stats`` carries per-scheduler effort counters (solves, cache
+    hits/misses, de-duplication reuses) of the engines that produced the
+    comparison, keyed by scheduler name.
+    """
 
     label: str
     comparisons: list[LayerComparison] = field(default_factory=list)
+    engine_stats: dict[str, EngineStats] = field(default_factory=dict)
 
     @property
     def hybrid_geomean(self) -> float:
@@ -170,38 +181,71 @@ def compare_on_layer(
     evaluator: Callable[[Mapping | None], float] | None = None,
 ) -> LayerComparison:
     """Run all three schedulers on ``layer`` and evaluate them on the platform."""
-    random_scheduler, hybrid_scheduler, cosa_scheduler = schedulers or build_schedulers(config)
-    evaluate = evaluator or _Evaluator(config)
-
-    random_result = random_scheduler.schedule(layer)
-    hybrid_result = hybrid_scheduler.schedule(layer)
-    cosa_result = cosa_scheduler.schedule(layer)
-
-    return LayerComparison(
-        layer=layer.name or layer.canonical_name,
-        random_value=evaluate(random_result.mapping),
-        hybrid_value=evaluate(hybrid_result.mapping),
-        cosa_value=evaluate(cosa_result.mapping),
-        random_time=random_result.elapsed_seconds,
-        hybrid_time=hybrid_result.elapsed_seconds,
-        cosa_time=cosa_result.solve_time_seconds,
-        random_samples=random_result.num_sampled,
-        hybrid_samples=hybrid_result.num_sampled,
-        hybrid_evaluations=hybrid_result.num_evaluated,
+    summary = compare_on_network(
+        layer.name or layer.canonical_name,
+        [layer],
+        config,
+        schedulers=schedulers,
+        evaluator=evaluator,
     )
+    return summary.comparisons[0]
 
 
 def compare_on_network(
     label: str,
     layers: Iterable[Layer],
     config: ComparisonConfig,
+    schedulers=None,
+    evaluator: Callable[[Mapping | None], float] | None = None,
+    jobs: int = 1,
+    cache: MappingCache | None = None,
 ) -> SpeedupSummary:
-    """Run the comparison over every layer of a network."""
-    schedulers = build_schedulers(config)
-    evaluator = _Evaluator(config)
+    """Run the comparison over every layer of a network.
+
+    Parameters
+    ----------
+    jobs:
+        Concurrent solves per scheduler (layers are independent; see
+        :meth:`~repro.engine.engine.SchedulingEngine.schedule_network`).
+    cache:
+        Optional shared :class:`~repro.engine.cache.MappingCache`; the cache
+        key includes the scheduler identity, so one cache serves all three
+        schedulers at once.
+    """
+    layers = list(layers)
+    scheduler_triple = schedulers or build_schedulers(config)
+    evaluate = evaluator or _Evaluator(config)
+
+    # Positional, not name-keyed: caller-supplied triples may repeat a
+    # scheduler kind (e.g. two differently-seeded Random instances).
     summary = SpeedupSummary(label=label)
-    for layer in layers:
+    networks = []
+    for scheduler in scheduler_triple:
+        engine = SchedulingEngine(scheduler, cache=cache, evaluate_metrics=False)
+        network = engine.schedule_network(layers, jobs=jobs, label=label)
+        networks.append(network)
+        stats_key = scheduler.name
+        while stats_key in summary.engine_stats:
+            stats_key += "+"
+        summary.engine_stats[stats_key] = network.stats
+
+    random_net, hybrid_net, cosa_net = networks
+    for index, layer in enumerate(layers):
+        random_outcome = random_net.outcomes[index]
+        hybrid_outcome = hybrid_net.outcomes[index]
+        cosa_outcome = cosa_net.outcomes[index]
         summary.comparisons.append(
-            compare_on_layer(layer, config, schedulers=schedulers, evaluator=evaluator)
+            LayerComparison(
+                layer=layer.name or layer.canonical_name,
+                random_value=evaluate(random_outcome.mapping),
+                hybrid_value=evaluate(hybrid_outcome.mapping),
+                cosa_value=evaluate(cosa_outcome.mapping),
+                random_time=random_outcome.solve_time_seconds,
+                hybrid_time=hybrid_outcome.solve_time_seconds,
+                cosa_time=cosa_outcome.solve_time_seconds,
+                random_samples=random_outcome.num_sampled,
+                hybrid_samples=hybrid_outcome.num_sampled,
+                hybrid_evaluations=hybrid_outcome.num_evaluated,
+            )
         )
     return summary

@@ -1,0 +1,303 @@
+"""Tests for the unified scheduling engine: protocol conformance, parallel
+equivalence, the mapping cache and the ``stats=None`` regression."""
+
+import json
+
+import pytest
+
+from repro.arch import simba_like
+from repro.baselines import RandomScheduler, TimeloopHybridScheduler, TVMLikeTuner
+from repro.core import CoSAScheduler
+from repro.core.gpu import CoSAGPUScheduler
+from repro.core.scheduler import ScheduleResult
+from repro.engine import MappingCache, SchedulingEngine, Scheduler, cache_key
+from repro.solver.solution import Solution, SolveStatus
+from repro.workloads import Layer, layer_from_name
+from repro.workloads.networks import resnet50_layers
+
+ARCH = simba_like()
+
+TINY = Layer(r=3, p=4, q=4, s=3, c=8, k=16, name="tiny")
+
+
+class TestSchedulerProtocol:
+    def test_all_four_schedulers_conform(self):
+        schedulers = [
+            CoSAScheduler(ARCH),
+            RandomScheduler(ARCH),
+            TimeloopHybridScheduler(ARCH),
+            TVMLikeTuner(ARCH),
+        ]
+        for scheduler in schedulers:
+            assert isinstance(scheduler, Scheduler), scheduler
+        assert len({s.name for s in schedulers}) == 4
+
+    def test_gpu_scheduler_conforms(self):
+        assert isinstance(CoSAGPUScheduler(), Scheduler)
+
+    def test_outcome_shape(self):
+        outcome = RandomScheduler(ARCH, num_valid=2).schedule_outcome(TINY)
+        assert outcome.scheduler == "random"
+        assert outcome.layer == TINY
+        assert outcome.num_sampled >= outcome.num_evaluated >= 2
+        assert outcome.wall_time_seconds > 0
+        assert not outcome.from_cache
+        assert outcome.detail is not None
+        data = outcome.to_dict()
+        assert data["succeeded"] is True
+        json.dumps(data)  # JSON-compatible
+
+    def test_cosa_outcome_is_one_shot(self):
+        outcome = CoSAScheduler(ARCH).schedule_outcome(TINY)
+        assert outcome.scheduler == "cosa"
+        assert outcome.num_sampled == 1
+        assert outcome.num_evaluated == 1
+        assert outcome.succeeded
+
+    def test_config_fingerprint_reflects_config(self):
+        base = RandomScheduler(ARCH, seed=0)
+        assert base.config_fingerprint() == RandomScheduler(ARCH, seed=0).config_fingerprint()
+        assert base.config_fingerprint() != RandomScheduler(ARCH, seed=1).config_fingerprint()
+        assert base.config_fingerprint() != RandomScheduler(ARCH, num_valid=9).config_fingerprint()
+
+    def test_engine_rejects_non_schedulers(self):
+        with pytest.raises(TypeError):
+            SchedulingEngine(object())
+
+
+class TestEngineNetwork:
+    def test_dedup_solves_unique_layers_once(self):
+        layers = [
+            Layer(c=8, k=8, name="a"),
+            Layer(p=4, k=16, name="b"),
+            Layer(c=8, k=8, name="a-again"),  # equal to "a" (name ignored)
+        ]
+        engine = SchedulingEngine(RandomScheduler(ARCH, num_valid=2))
+        network = engine.schedule_network(layers)
+        assert network.stats.num_layers == 3
+        assert network.stats.unique_layers == 2
+        assert network.stats.dedup_reuses == 1
+        assert network.stats.solves == 2
+        # The duplicate keeps its own layer identity but shares the mapping.
+        assert network.outcomes[2].layer.name == "a-again"
+        assert network.outcomes[2].mapping.summary() == network.outcomes[0].mapping.summary()
+
+    def test_metrics_populated(self):
+        engine = SchedulingEngine(RandomScheduler(ARCH, num_valid=2))
+        outcome = engine.schedule_layer(TINY)
+        assert set(outcome.metrics) == {"latency", "energy", "edp"}
+        assert outcome.metrics["edp"] == pytest.approx(
+            outcome.metrics["latency"] * outcome.metrics["energy"]
+        )
+
+    def test_thread_and_process_match_serial_for_search(self):
+        layers = [Layer(c=8, k=8), Layer(p=4, k=16), Layer(c=16, k=4), Layer(p=8, c=4)]
+        engine = SchedulingEngine(RandomScheduler(ARCH, num_valid=2), evaluate_metrics=False)
+        serial = engine.schedule_network(layers, jobs=1)
+        threaded = engine.schedule_network(layers, jobs=4, executor="thread")
+        forked = engine.schedule_network(layers, jobs=2, executor="process")
+        reference = [o.mapping.summary() for o in serial.outcomes]
+        assert [o.mapping.summary() for o in threaded.outcomes] == reference
+        assert [o.mapping.summary() for o in forked.outcomes] == reference
+
+    def test_invalid_arguments_rejected(self):
+        engine = SchedulingEngine(RandomScheduler(ARCH))
+        with pytest.raises(ValueError):
+            engine.schedule_network([TINY], jobs=0)
+        with pytest.raises(ValueError):
+            engine.schedule_network([TINY], jobs=2, executor="gpu")
+
+    def test_cosa_parallel_matches_serial_on_resnet_slice(self):
+        """Acceptance: jobs=N returns mappings identical to the serial path,
+        and a second cache-enabled run performs zero MIP solves."""
+        layers = resnet50_layers()[:4]
+        cache = MappingCache()
+        engine = SchedulingEngine(CoSAScheduler(ARCH), cache=cache, evaluate_metrics=False)
+
+        first = engine.schedule_network(layers, jobs=1)
+        assert first.stats.solves == 4
+        assert first.stats.cache_misses == 4
+        assert first.stats.cache_hits == 0
+        assert all(o.succeeded for o in first.outcomes)
+
+        # Second run: every layer is served from the cache, zero MIP solves.
+        second = engine.schedule_network(layers, jobs=1)
+        assert second.stats.solves == 0
+        assert second.stats.cache_hits == 4
+        assert second.stats.cache_misses == 0
+        assert all(o.from_cache for o in second.outcomes)
+        reference = [o.mapping.summary() for o in first.outcomes]
+        assert [o.mapping.summary() for o in second.outcomes] == reference
+
+        # Parallel run without a cache: same mappings as the serial path.
+        parallel_engine = SchedulingEngine(CoSAScheduler(ARCH), evaluate_metrics=False)
+        parallel = parallel_engine.schedule_network(layers, jobs=4)
+        assert parallel.stats.solves == 4
+        assert [o.mapping.summary() for o in parallel.outcomes] == reference
+
+    def test_suite_shares_cache_across_networks(self):
+        # ResNet-50 and ResNeXt-50 share their first layer (7_112_3_64_2);
+        # with a shared cache the suite must solve it only once.
+        suite = {
+            "resnet50": resnet50_layers()[:1],
+            "resnext50": [layer_from_name("7_112_3_64_2")],
+        }
+        engine = SchedulingEngine(RandomScheduler(ARCH, num_valid=2), cache=MappingCache())
+        result = engine.schedule_suite(suite)
+        assert result.networks["resnet50"].stats.solves == 1
+        assert result.networks["resnext50"].stats.cache_hits == 1
+        assert result.networks["resnext50"].stats.solves == 0
+        assert result.stats.num_layers == 2
+        json.dumps(result.to_dict())
+
+
+class TestMappingCache:
+    def test_disk_round_trip_and_hit(self, tmp_path):
+        path = tmp_path / "cache.json"
+        scheduler = RandomScheduler(ARCH, num_valid=2)
+        engine = SchedulingEngine(scheduler, cache=MappingCache(path=path))
+        solved = engine.schedule_layer(TINY)
+        assert not solved.from_cache
+        engine.cache.save()
+        assert path.exists()
+
+        # A fresh process-equivalent: new cache object loaded from disk.
+        reloaded = MappingCache(path=path)
+        assert len(reloaded) == 1
+        engine2 = SchedulingEngine(RandomScheduler(ARCH, num_valid=2), cache=reloaded)
+        hit = engine2.schedule_layer(TINY)
+        assert hit.from_cache
+        assert reloaded.stats.hits == 1
+        assert hit.mapping.summary() == solved.mapping.summary()
+        # The original solve time survives the round trip.
+        assert hit.solve_time_seconds == pytest.approx(solved.solve_time_seconds)
+
+    def test_key_separates_schedulers_architectures_and_configs(self):
+        random_a = RandomScheduler(ARCH, seed=0)
+        keys = {
+            cache_key(TINY, ARCH, random_a),
+            cache_key(TINY, ARCH, RandomScheduler(ARCH, seed=1)),
+            cache_key(TINY, ARCH, CoSAScheduler(ARCH)),
+            cache_key(Layer(c=8, k=16), ARCH, random_a),
+            cache_key(TINY, simba_like(), random_a),  # equal arch -> equal key
+        }
+        assert len(keys) == 4
+        # Batch size must enter the key even though canonical names ignore it.
+        batched = Layer(r=3, p=4, q=4, s=3, c=8, k=16, n=2)
+        assert cache_key(batched, ARCH, random_a) != cache_key(TINY, ARCH, random_a)
+
+    def test_lru_eviction(self):
+        cache = MappingCache(max_entries=2)
+        scheduler = RandomScheduler(ARCH, num_valid=1)
+        engine = SchedulingEngine(scheduler, cache=cache, evaluate_metrics=False)
+        layers = [Layer(c=4, k=4), Layer(c=8, k=4), Layer(c=16, k=4)]
+        for layer in layers:
+            engine.schedule_layer(layer)
+        assert len(cache) == 2
+        # The first layer was evicted; the latest two are still hits.
+        assert cache.get(cache_key(layers[0], ARCH, scheduler)) is None
+        assert cache.get(cache_key(layers[2], ARCH, scheduler)) is not None
+
+    def test_failed_outcomes_are_not_cached(self):
+        cache = MappingCache()
+        from repro.engine.outcome import ScheduleOutcome
+
+        cache.put("key", ScheduleOutcome(layer=TINY, scheduler="x", mapping=None))
+        assert len(cache) == 0
+
+    def test_unsupported_version_rejected(self, tmp_path):
+        path = tmp_path / "cache.json"
+        path.write_text(json.dumps({"version": 99, "entries": {}}))
+        with pytest.raises(ValueError):
+            MappingCache(path=path)
+
+
+class _FailingBackend:
+    """MIP backend that never returns a usable solution."""
+
+    time_limit_seconds = None
+    mip_rel_gap = 0.0
+
+    def solve(self, model) -> Solution:
+        return Solution(status=SolveStatus.ERROR)
+
+
+class TestStatsNoneRegression:
+    def test_schedule_result_allows_missing_stats(self):
+        # Regression for the type lie: ScheduleResult.stats is optional.
+        result = ScheduleResult(
+            layer=TINY,
+            mapping=None,
+            solution=Solution(status=SolveStatus.ERROR),
+            objective=None,
+            solve_time_seconds=0.0,
+            stats=None,
+        )
+        assert not result.succeeded
+        assert result.stats is None
+
+    def test_failing_solver_produces_guarded_result(self):
+        scheduler = CoSAScheduler(ARCH, backend=_FailingBackend())
+        result = scheduler.schedule(TINY)
+        assert not result.succeeded
+        assert result.mapping is None
+        assert result.objective is None
+
+        # The unified outcome and the engine handle the failure gracefully.
+        engine = SchedulingEngine(scheduler, cache=MappingCache())
+        outcome = engine.schedule_layer(TINY)
+        assert not outcome.succeeded
+        assert outcome.metrics == {}
+        assert len(engine.cache) == 0  # failures are never cached
+
+    def test_cli_reports_failure_through_summary_path(self, capsys, monkeypatch):
+        import repro.cli as cli
+
+        monkeypatch.setattr(
+            cli, "_make_scheduler", lambda name, arch, seed=0: CoSAScheduler(arch, backend=_FailingBackend())
+        )
+        code = cli.main(["schedule", "3_13_256_256_1"])
+        captured = capsys.readouterr()
+        assert code == 1
+        assert "no valid schedule found" in captured.err
+        # The single summary path prints nothing on stdout for failed runs.
+        assert captured.out == ""
+
+
+class TestEngineCLI:
+    def test_compare_json_output(self, capsys, tmp_path):
+        cache_file = tmp_path / "cache.json"
+        args = ["compare", "alexnet", "--layers", "1", "--jobs", "2", "--json",
+                "--cache", str(cache_file)]
+        assert __import__("repro.cli", fromlist=["main"]).main(args) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["label"] == "alexnet"
+        assert len(data["comparisons"]) == 1
+        assert {"random", "timeloop-hybrid", "cosa"} <= set(data["engine_stats"])
+        assert cache_file.exists()
+
+        # Second run against the persisted cache: zero fresh solves.
+        assert __import__("repro.cli", fromlist=["main"]).main(args) == 0
+        data = json.loads(capsys.readouterr().out)
+        for stats in data["engine_stats"].values():
+            assert stats["solves"] == 0
+            assert stats["cache_hits"] == 1
+
+    def test_suite_json_output(self, capsys):
+        from repro.cli import main as cli_main
+
+        code = cli_main(["suite", "--scheduler", "random", "--layers", "1", "--json"])
+        data = json.loads(capsys.readouterr().out)
+        assert code == 0
+        assert set(data["networks"]) == {"alexnet", "resnet50", "resnext50", "deepbench"}
+        assert data["stats"]["num_layers"] == 4
+
+    def test_schedule_json_output(self, capsys):
+        from repro.cli import main as cli_main
+
+        code = cli_main(["schedule", "3_13_256_256_1", "--scheduler", "random", "--json"])
+        data = json.loads(capsys.readouterr().out)
+        assert code == 0
+        assert data["succeeded"] is True
+        assert "loop_nest" in data
+        assert data["metrics"]["latency"] > 0
