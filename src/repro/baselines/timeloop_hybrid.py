@@ -55,6 +55,13 @@ class TimeloopHybridScheduler(SearchScheduler):
         ``"latency"``, ``"energy"`` or ``"edp"``.
     seed:
         Base seed for the random factorisations.
+    eval_batch_size / time_budget_seconds:
+        See :class:`~repro.baselines.base.SearchScheduler`.  Each pruned
+        permutation sweep is the natural evaluation batch; the wall-clock
+        budget is checked once per drawn factorisation in both the scalar
+        and the batched path.  How many factorisations a budget buys still
+        depends on machine and evaluation speed, so budget-capped outcomes
+        are time-dependent.
     """
 
     name = "timeloop-hybrid"
@@ -68,8 +75,12 @@ class TimeloopHybridScheduler(SearchScheduler):
         max_evaluations: int = 3000,
         metric: str = "latency",
         seed: int = 0,
+        eval_batch_size: int | None = None,
+        time_budget_seconds: float | None = None,
     ):
-        super().__init__(metric)
+        super().__init__(
+            metric, eval_batch_size=eval_batch_size, time_budget_seconds=time_budget_seconds
+        )
         self.accelerator = accelerator
         self.num_threads = num_threads
         self.termination_condition = termination_condition
@@ -105,45 +116,50 @@ class TimeloopHybridScheduler(SearchScheduler):
     def schedule(self, layer: Layer) -> SearchResult:
         """Run the hybrid search for ``layer`` and return the best mapping found."""
         start = time.perf_counter()
+        deadline = self._deadline(start)
         space = MapSpace(layer, self.accelerator)
         noc_level = self.accelerator.pe_level_index()
 
         best_mapping = None
-        best_cost = None
         best_score = float("inf")
         sampled = 0
         evaluated = 0
 
         for thread in range(self.num_threads):
+            if self._out_of_time(deadline):
+                break
             rng = random.Random(stable_layer_seed(self.seed, layer.canonical_name, thread))
             consecutive_suboptimal = 0
             thread_best = float("inf")
             while (
                 consecutive_suboptimal < self.termination_condition
                 and evaluated < self.max_evaluations
+                and not self._out_of_time(deadline)
             ):
                 base = space.random_mapping(rng)
                 sampled += 1
-                for candidate in self._permutation_sweep(base, noc_level, rng):
+                for candidate, ok, score in self._scored(
+                    self._permutation_sweep(base, noc_level, rng)
+                ):
                     sampled += 1
-                    cost = self._cost_model.evaluate(candidate)
-                    if not cost.valid:
+                    if not ok:
                         continue
                     evaluated += 1
-                    score = self.score(cost)
+                    score = float(score)
                     if score < thread_best:
                         thread_best = score
                         consecutive_suboptimal = 0
                     else:
                         consecutive_suboptimal += 1
                     if score < best_score:
-                        best_mapping, best_cost, best_score = candidate, cost, score
+                        best_mapping, best_score = candidate, score
                     if (
                         consecutive_suboptimal >= self.termination_condition
                         or evaluated >= self.max_evaluations
                     ):
                         break
 
+        best_cost = self._cost_model.evaluate(best_mapping) if best_mapping is not None else None
         return SearchResult(
             mapping=best_mapping,
             cost=best_cost,

@@ -33,7 +33,10 @@ class TVMLikeTuner(SearchScheduler):
     trials:
         Number of measurement trials (50 in the paper's TVM baseline).
     batch_size:
-        Candidates evaluated per trial.
+        Candidates evaluated per trial.  Each trial's batch is the natural
+        unit of vectorized evaluation: with ``eval_batch_size`` set, the
+        whole batch is scored in one :class:`~repro.model.batch.BatchCostModel`
+        pass instead of one scalar evaluation per candidate.
     exploration:
         Fraction of each batch drawn at random instead of mutated from the
         incumbent population.
@@ -41,6 +44,11 @@ class TVMLikeTuner(SearchScheduler):
         ``"latency"``, ``"energy"`` or ``"edp"``.
     seed:
         Base random seed.
+    eval_batch_size / time_budget_seconds:
+        See :class:`~repro.baselines.base.SearchScheduler`.  The wall-clock
+        budget is checked once per trial in both the scalar and the batched
+        path; the number of trials a budget buys still depends on machine
+        and evaluation speed, so budget-capped outcomes are time-dependent.
     """
 
     name = "tvm-like"
@@ -53,8 +61,12 @@ class TVMLikeTuner(SearchScheduler):
         exploration: float = 0.3,
         metric: str = "latency",
         seed: int = 0,
+        eval_batch_size: int | None = None,
+        time_budget_seconds: float | None = None,
     ):
-        super().__init__(metric)
+        super().__init__(
+            metric, eval_batch_size=eval_batch_size, time_budget_seconds=time_budget_seconds
+        )
         if trials < 1 or batch_size < 1:
             raise ValueError("trials and batch_size must be positive")
         if not 0.0 <= exploration <= 1.0:
@@ -78,17 +90,19 @@ class TVMLikeTuner(SearchScheduler):
     def schedule(self, layer: Layer) -> SearchResult:
         """Tune ``layer`` for ``trials`` measurement rounds and return the best mapping."""
         start = time.perf_counter()
+        deadline = self._deadline(start)
         rng = random.Random(stable_layer_seed(self.seed, layer.canonical_name))
         space = MapSpace(layer, self.accelerator)
 
         population: list[tuple[float, Mapping]] = []
         best_mapping = None
-        best_cost = None
         best_score = float("inf")
         sampled = 0
         evaluated = 0
 
         for _ in range(self.trials):
+            if self._out_of_time(deadline):
+                break
             batch: list[Mapping] = []
             for _ in range(self.batch_size):
                 if population and rng.random() > self.exploration:
@@ -96,19 +110,19 @@ class TVMLikeTuner(SearchScheduler):
                     batch.append(self._mutate(parent, space, rng))
                 else:
                     batch.append(space.random_mapping(rng))
-            for candidate in batch:
+            for candidate, ok, score in self._scored(batch):
                 sampled += 1
-                cost = self._cost_model.evaluate(candidate)
-                if not cost.valid:
+                if not ok:
                     continue
                 evaluated += 1
-                score = self.score(cost)
+                score = float(score)
                 population.append((score, candidate))
                 if score < best_score:
-                    best_mapping, best_cost, best_score = candidate, cost, score
+                    best_mapping, best_score = candidate, score
             population.sort(key=lambda item: item[0])
             del population[16:]
 
+        best_cost = self._cost_model.evaluate(best_mapping) if best_mapping is not None else None
         return SearchResult(
             mapping=best_mapping,
             cost=best_cost,

@@ -16,7 +16,10 @@ summary path: nothing is printed until the run is complete, so a failed run
 produces an error on stderr and exit code 1 instead of a half-written
 report.  ``compare`` and ``suite`` accept ``--json`` for machine-readable
 output, ``--jobs`` for parallel layer solves, and ``--cache FILE`` to
-persist and reuse the mapping cache across invocations.
+persist and reuse the mapping cache across invocations.  The search
+baselines evaluate candidates in vectorized batches (``--batch-size``,
+outcome-invariant; ``--batch-size 1`` forces the scalar reference path) and
+honor a per-layer wall-clock budget (``--time-budget``).
 """
 
 from __future__ import annotations
@@ -54,6 +57,7 @@ def _build_parser() -> argparse.ArgumentParser:
     schedule.add_argument("--batch", type=int, default=1, help="batch size N")
     schedule.add_argument("--save", metavar="FILE", help="write the mapping to a JSON file")
     schedule.add_argument("--json", action="store_true", help="machine-readable output")
+    _add_search_arguments(schedule)
 
     compare = sub.add_parser(
         "compare", help="compare Random / Timeloop-Hybrid / CoSA on a network"
@@ -99,16 +103,36 @@ def _add_engine_arguments(parser: argparse.ArgumentParser) -> None:
         help="mapping-cache file, loaded before and saved after the run",
     )
     parser.add_argument("--json", action="store_true", help="machine-readable output")
+    _add_search_arguments(parser)
 
 
-def _make_scheduler(name: str, accelerator, seed: int = 0):
+def _add_search_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--batch-size", type=_positive_int, default=64, metavar="N",
+        help="vectorized evaluation batch size for the search baselines "
+        "(1 = scalar reference path; outcomes are identical either way)",
+    )
+    parser.add_argument(
+        "--time-budget", type=float, default=None, metavar="SECONDS",
+        help="per-layer wall-clock budget for the search baselines",
+    )
+
+
+def _make_scheduler(
+    name: str,
+    accelerator,
+    seed: int = 0,
+    batch_size: int | None = None,
+    time_budget: float | None = None,
+):
     if name == "cosa":
         return CoSAScheduler(accelerator)
+    search = dict(seed=seed, eval_batch_size=batch_size, time_budget_seconds=time_budget)
     if name == "random":
-        return RandomScheduler(accelerator, seed=seed)
+        return RandomScheduler(accelerator, **search)
     if name == "hybrid":
-        return TimeloopHybridScheduler(accelerator, seed=seed)
-    return TVMLikeTuner(accelerator, seed=seed)
+        return TimeloopHybridScheduler(accelerator, **search)
+    return TVMLikeTuner(accelerator, **search)
 
 
 def _solve_description(outcome) -> str:
@@ -128,7 +152,9 @@ def _solve_description(outcome) -> str:
 def _schedule(args) -> int:
     accelerator = architecture_presets()[args.arch]
     layer = layer_from_name(args.layer, batch=args.batch)
-    scheduler = _make_scheduler(args.scheduler, accelerator)
+    scheduler = _make_scheduler(
+        args.scheduler, accelerator, batch_size=args.batch_size, time_budget=args.time_budget
+    )
     # The text path evaluates the cost model itself (it needs the latency
     # breakdown); only the --json path consumes the engine's metrics dict.
     engine = SchedulingEngine(scheduler, evaluate_metrics=args.json)
@@ -190,7 +216,12 @@ def _compare(args) -> int:
     if args.layers is not None:
         layers = layers[: args.layers]
     config = ComparisonConfig(
-        accelerator=accelerator, platform=args.platform, metric=args.metric, seed=args.seed
+        accelerator=accelerator,
+        platform=args.platform,
+        metric=args.metric,
+        seed=args.seed,
+        eval_batch_size=args.batch_size,
+        time_budget_seconds=args.time_budget,
     )
     cache = MappingCache(path=args.cache) if args.cache else None
     summary = compare_on_network(args.network, layers, config, jobs=args.jobs, cache=cache)
@@ -244,7 +275,9 @@ def _compare(args) -> int:
 
 def _suite(args) -> int:
     accelerator = architecture_presets()[args.arch]
-    scheduler = _make_scheduler(args.scheduler, accelerator)
+    scheduler = _make_scheduler(
+        args.scheduler, accelerator, batch_size=args.batch_size, time_budget=args.time_budget
+    )
     cache = MappingCache(path=args.cache) if args.cache else None
     engine = SchedulingEngine(scheduler, cache=cache)
 

@@ -24,6 +24,7 @@ live in a bounded in-memory LRU and can be persisted to a JSON file (via
 from __future__ import annotations
 
 import json
+import os
 import threading
 from collections import OrderedDict
 from dataclasses import dataclass, field
@@ -172,7 +173,13 @@ class MappingCache:
 
     # ------------------------------------------------------------- persistence
     def save(self, path: str | Path | None = None) -> Path:
-        """Write every entry to ``path`` (default: the constructor path)."""
+        """Write every entry to ``path`` (default: the constructor path).
+
+        The write is atomic (temp file + ``os.replace``): concurrent runs
+        persisting to the same file — e.g. two parallel ``jobs>1`` engine
+        invocations sharing a cache path — can never leave a torn, unloadable
+        JSON file behind; readers see either the old or the new snapshot.
+        """
         target = Path(path) if path is not None else self.path
         if target is None:
             raise ValueError("no path given and the cache was created without one")
@@ -182,7 +189,13 @@ class MappingCache:
                 "entries": {key: entry for key, entry in self._entries.items()},
             }
         target.parent.mkdir(parents=True, exist_ok=True)
-        target.write_text(json.dumps(payload, indent=2) + "\n")
+        temp = target.parent / f".{target.name}.{os.getpid()}.{threading.get_ident()}.tmp"
+        try:
+            temp.write_text(json.dumps(payload, indent=2) + "\n")
+            os.replace(temp, target)
+        except BaseException:
+            temp.unlink(missing_ok=True)
+            raise
         return target
 
     def _load(self, path: Path) -> None:

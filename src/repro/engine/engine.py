@@ -180,6 +180,19 @@ class SchedulingEngine:
         When ``True`` (default) every fresh mapping is evaluated once on the
         analytical cost model and the outcome's ``metrics`` dictionary is
         populated with ``latency``, ``energy`` and ``edp``.
+    batch_size:
+        Evaluation batch size pushed onto schedulers that support batched
+        candidate evaluation (the search baselines' ``eval_batch_size``);
+        schedulers without the knob (e.g. the one-shot MIP scheduler) ignore
+        it.  For budget-free schedulers batching is outcome-invariant by
+        construction — the parity test suite enforces it — so the batch
+        size does **not** enter their cache keys: entries written by a
+        batched engine are served to scalar runs and vice versa.  For a
+        budget-capped scheduler the batch size *does* key the cache, so the
+        engine refuses to override it here (set ``eval_batch_size`` on the
+        scheduler itself instead); this also keeps the override free of
+        fingerprint-changing side effects on schedulers shared between
+        engines.
     """
 
     def __init__(
@@ -187,12 +200,27 @@ class SchedulingEngine:
         scheduler: Scheduler,
         cache: MappingCache | None = None,
         evaluate_metrics: bool = True,
+        batch_size: int | None = None,
     ):
         if not isinstance(scheduler, Scheduler):
             raise TypeError(
                 f"{type(scheduler).__name__} does not satisfy the Scheduler protocol "
                 "(needs name, accelerator, schedule_outcome, config_fingerprint)"
             )
+        if batch_size is not None:
+            if batch_size < 1:
+                raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+            if hasattr(scheduler, "eval_batch_size"):
+                if (
+                    getattr(scheduler, "time_budget_seconds", None) is not None
+                    and scheduler.eval_batch_size != batch_size
+                ):
+                    raise ValueError(
+                        "cannot override eval_batch_size of a budget-capped scheduler "
+                        "(it keys the mapping cache); construct the scheduler with "
+                        "eval_batch_size instead"
+                    )
+                scheduler.eval_batch_size = batch_size
         self.scheduler = scheduler
         self.cache = cache
         self.evaluate_metrics = evaluate_metrics

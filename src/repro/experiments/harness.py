@@ -59,6 +59,13 @@ class ComparisonConfig:
         Valid samples collected by the Random baseline (5 in the paper).
     seed:
         Base random seed shared by the baselines.
+    eval_batch_size:
+        Vectorized evaluation batch size for the search baselines (outcome
+        invariant — see :mod:`repro.model.batch`; ``None``/1 forces the
+        scalar reference path).
+    time_budget_seconds:
+        Optional per-layer wall-clock budget for the search baselines, so
+        time-to-solution comparisons are apples-to-apples.
     """
 
     accelerator: Accelerator
@@ -70,6 +77,8 @@ class ComparisonConfig:
     hybrid_max_evaluations: int = 800
     random_valid: int = 5
     seed: int = 0
+    eval_batch_size: int | None = 64
+    time_budget_seconds: float | None = None
 
     def __post_init__(self) -> None:
         if self.platform not in ("timeloop", "noc"):
@@ -161,6 +170,8 @@ def build_schedulers(config: ComparisonConfig):
         num_valid=config.random_valid,
         metric=config.metric,
         seed=config.seed,
+        eval_batch_size=config.eval_batch_size,
+        time_budget_seconds=config.time_budget_seconds,
     )
     hybrid_scheduler = TimeloopHybridScheduler(
         config.accelerator,
@@ -169,6 +180,8 @@ def build_schedulers(config: ComparisonConfig):
         max_evaluations=config.hybrid_max_evaluations,
         metric=config.metric,
         seed=config.seed,
+        eval_batch_size=config.eval_batch_size,
+        time_budget_seconds=config.time_budget_seconds,
     )
     cosa_scheduler = CoSAScheduler(config.accelerator, weights=config.cosa_weights)
     return random_scheduler, hybrid_scheduler, cosa_scheduler

@@ -16,7 +16,7 @@ simulator (:mod:`repro.noc`).
 
 from repro.mapping.mapping import Loop, LevelMapping, Mapping
 from repro.mapping.loopnest import render_loop_nest
-from repro.mapping.space import MapSpace, random_mapping
+from repro.mapping.space import MapSpace, MappingDraws, MappingSpace, random_mapping
 from repro.mapping.serialize import load_mapping, mapping_from_dict, mapping_to_dict, save_mapping
 
 __all__ = [
@@ -25,6 +25,8 @@ __all__ = [
     "Mapping",
     "render_loop_nest",
     "MapSpace",
+    "MappingSpace",
+    "MappingDraws",
     "random_mapping",
     "mapping_to_dict",
     "mapping_from_dict",

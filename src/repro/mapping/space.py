@@ -14,12 +14,72 @@ import graph acyclic.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.arch.accelerator import Accelerator
 from repro.mapping.mapping import LevelMapping, Loop, Mapping
 from repro.workloads.layer import DIMENSION_NAMES, Layer
 from repro.workloads.prime import count_factorizations, factorize
+
+#: A drawn loop before materialization: ``(dimension name, bound)``.
+DrawnLoop = tuple[str, int]
+
+
+@dataclass
+class MappingDraws:
+    """A batch of sampled factor placements, kept as plain tuples.
+
+    The batched evaluation path (:mod:`repro.model.batch`) consumes the
+    per-level ``(dim, bound)`` lists directly as factor matrices; a full
+    :class:`~repro.mapping.mapping.Mapping` object is only built for the few
+    candidates that win a search (:meth:`materialize`).
+
+    Attributes
+    ----------
+    layer:
+        The layer every draw maps.
+    num_levels:
+        Memory levels per draw.
+    temporal / spatial:
+        ``temporal[i][level]`` is the list of temporal ``(dim, bound)`` loops
+        of draw ``i`` at ``level`` (innermost loop first, permutation order);
+        ``spatial`` likewise for spatial loops.
+    """
+
+    layer: Layer
+    num_levels: int
+    temporal: list[list[list[DrawnLoop]]] = field(default_factory=list)
+    spatial: list[list[list[DrawnLoop]]] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.temporal)
+
+    def materialize(self, index: int) -> Mapping:
+        """Build the full :class:`Mapping` for draw ``index``.
+
+        Produces exactly the object :meth:`MapSpace.random_mapping` would
+        have returned for the same draw.
+        """
+        levels = []
+        for level in range(self.num_levels):
+            levels.append(
+                LevelMapping(
+                    temporal=[
+                        Loop(dim=dim, bound=bound, spatial=False)
+                        for dim, bound in self.temporal[index][level]
+                    ],
+                    spatial=[
+                        Loop(dim=dim, bound=bound, spatial=True)
+                        for dim, bound in self.spatial[index][level]
+                    ],
+                )
+            )
+        return Mapping(self.layer, levels)
+
+    def iter_mappings(self):
+        """Materialize every draw in order (scalar fallback path)."""
+        for index in range(len(self)):
+            yield self.materialize(index)
 
 
 @dataclass
@@ -69,16 +129,17 @@ class MapSpace:
         return sum(len(f) for f in self._prime_factors.values())
 
     # --------------------------------------------------------------- sampling
-    def random_mapping(self, rng: random.Random) -> Mapping:
-        """Draw one random (not necessarily valid) mapping.
+    def _draw_loops(self, rng: random.Random) -> tuple[list[list[DrawnLoop]], list[list[DrawnLoop]]]:
+        """Draw one random factor placement as per-level ``(dim, bound)`` lists.
 
-        Every prime factor is placed into a uniformly random slot; spatial
-        placement is only attempted at spatial levels and respects the
-        remaining fanout budget of the level.  Temporal loops of each level
-        get a random permutation.
+        This is the sampling core shared by :meth:`random_mapping` (which
+        wraps the result in a :class:`Mapping`) and :meth:`sample_batch`
+        (which keeps the tuples for vectorized evaluation).  Both consume the
+        RNG identically — ``rng.shuffle`` depends only on list length — so a
+        batched and a scalar run of the same seed see the same candidates.
         """
-        temporal_loops: list[list[Loop]] = [[] for _ in range(self.num_levels)]
-        spatial_loops: list[list[Loop]] = [[] for _ in range(self.num_levels)]
+        temporal_loops: list[list[DrawnLoop]] = [[] for _ in range(self.num_levels)]
+        spatial_loops: list[list[DrawnLoop]] = [[] for _ in range(self.num_levels)]
         fanout_budget = dict(self._spatial_levels)
 
         slots: list[tuple[int, bool]] = [(i, False) for i in range(self.num_levels)]
@@ -93,23 +154,57 @@ class MapSpace:
                         if fanout_budget.get(level, 1) < prime:
                             continue
                         fanout_budget[level] //= prime
-                        spatial_loops[level].append(Loop(dim=dim, bound=prime, spatial=True))
+                        spatial_loops[level].append((dim, prime))
                     else:
-                        temporal_loops[level].append(Loop(dim=dim, bound=prime, spatial=False))
+                        temporal_loops[level].append((dim, prime))
                     placed = True
                     break
                 if not placed:
                     # Fall back to a temporal slot at a random level.
                     level = rng.randrange(self.num_levels)
-                    temporal_loops[level].append(Loop(dim=dim, bound=prime, spatial=False))
+                    temporal_loops[level].append((dim, prime))
 
-        level_mappings = []
+        merged_temporal: list[list[DrawnLoop]] = []
+        merged_spatial: list[list[DrawnLoop]] = []
         for i in range(self.num_levels):
-            merged_t = _merge_loops(temporal_loops[i], spatial=False)
-            merged_s = _merge_loops(spatial_loops[i], spatial=True)
+            merged_t = _merge_drawn(temporal_loops[i])
             rng.shuffle(merged_t)
-            level_mappings.append(LevelMapping(temporal=merged_t, spatial=merged_s))
-        return Mapping(self.layer, level_mappings)
+            merged_temporal.append(merged_t)
+            merged_spatial.append(_merge_drawn(spatial_loops[i]))
+        return merged_temporal, merged_spatial
+
+    def random_mapping(self, rng: random.Random) -> Mapping:
+        """Draw one random (not necessarily valid) mapping.
+
+        Every prime factor is placed into a uniformly random slot; spatial
+        placement is only attempted at spatial levels and respects the
+        remaining fanout budget of the level.  Temporal loops of each level
+        get a random permutation.
+        """
+        temporal, spatial = self._draw_loops(rng)
+        draws = MappingDraws(
+            layer=self.layer, num_levels=self.num_levels, temporal=[temporal], spatial=[spatial]
+        )
+        return draws.materialize(0)
+
+    def sample_batch(self, count: int, rng: random.Random | None = None) -> MappingDraws:
+        """Draw ``count`` random candidates as factor placements, not objects.
+
+        The returned :class:`MappingDraws` feeds
+        :meth:`repro.model.batch.MappingBatch.from_draws` for vectorized
+        evaluation; individual winners are materialized on demand.  Drawing a
+        batch of ``n`` then a batch of ``m`` from one RNG yields exactly the
+        candidates of a batch of ``n + m`` (and of ``n + m`` scalar
+        :meth:`random_mapping` calls), so search outcomes do not depend on
+        the batch size.
+        """
+        rng = rng or random.Random(0)
+        draws = MappingDraws(layer=self.layer, num_levels=self.num_levels)
+        for _ in range(count):
+            temporal, spatial = self._draw_loops(rng)
+            draws.temporal.append(temporal)
+            draws.spatial.append(spatial)
+        return draws
 
     def is_valid(self, mapping: Mapping) -> bool:
         """True when the mapping satisfies the layer bounds, fanouts and buffer capacities."""
@@ -168,18 +263,22 @@ class MapSpace:
         return valid, stats
 
 
-def _merge_loops(loops: list[Loop], spatial: bool) -> list[Loop]:
-    """Merge loops over the same dimension into a single loop (product of bounds)."""
+def _merge_drawn(loops: list[DrawnLoop]) -> list[DrawnLoop]:
+    """Merge drawn loops over the same dimension (product of bounds, order kept)."""
     merged: dict[str, int] = {}
     order: list[str] = []
-    for loop in loops:
-        if loop.dim not in merged:
-            merged[loop.dim] = 1
-            order.append(loop.dim)
-        merged[loop.dim] *= loop.bound
-    return [Loop(dim=dim, bound=merged[dim], spatial=spatial) for dim in order if merged[dim] > 1]
+    for dim, bound in loops:
+        if dim not in merged:
+            merged[dim] = 1
+            order.append(dim)
+        merged[dim] *= bound
+    return [(dim, merged[dim]) for dim in order if merged[dim] > 1]
 
 
 def random_mapping(layer: Layer, accelerator: Accelerator, seed: int = 0) -> Mapping:
     """Convenience wrapper: one random mapping of ``layer`` on ``accelerator``."""
     return MapSpace(layer, accelerator).random_mapping(random.Random(seed))
+
+
+#: Alias matching the name used in project docs/issues.
+MappingSpace = MapSpace

@@ -16,6 +16,7 @@ from repro.model.nest import NestAnalysis, BoundaryFlow
 from repro.model.performance import PerformanceModel, LatencyBreakdown
 from repro.model.energy import EnergyModel, EnergyBreakdown
 from repro.model.cost import CostModel, CostResult
+from repro.model.batch import HAVE_NUMPY, BatchCostModel, BatchCostResult, MappingBatch
 
 __all__ = [
     "NestAnalysis",
@@ -26,4 +27,8 @@ __all__ = [
     "EnergyBreakdown",
     "CostModel",
     "CostResult",
+    "BatchCostModel",
+    "BatchCostResult",
+    "MappingBatch",
+    "HAVE_NUMPY",
 ]

@@ -1,0 +1,496 @@
+"""Vectorized (batched) mapping evaluation.
+
+The search baselines burn their budget evaluating candidate mappings one at
+a time: every candidate walks the scalar :class:`~repro.model.nest.NestAnalysis`
+/ :class:`~repro.model.performance.PerformanceModel` /
+:class:`~repro.model.energy.EnergyModel` pipeline, which is dominated by
+Python interpreter overhead, not arithmetic.  This module evaluates a whole
+**batch** of candidates for one (layer, architecture) pair with numpy array
+operations instead:
+
+* :class:`MappingBatch` — a batch of candidate mappings materialized as
+  factor matrices (``temporal[B, L, D]``, ``spatial[B, L, D]``) plus the
+  flattened, permutation-ordered temporal-loop sequence
+  (``loop_level/loop_dim/loop_bound[B, M]``) that the stationarity rules
+  need.  Batches are built from :class:`~repro.mapping.space.MappingDraws`
+  (no :class:`~repro.mapping.mapping.Mapping` objects are created) or from
+  existing mappings.
+* :class:`BatchCostModel` — validates and evaluates every candidate of a
+  batch at once, producing per-candidate ``valid``/``latency``/``energy``
+  arrays.
+
+Equivalence with the scalar model
+---------------------------------
+The scalar pipeline stays the **reference oracle**: this module re-states
+the same equations over a batch axis and mirrors the scalar code's exact
+floating-point expression structure (association order of products, order of
+accumulation over boundary flows, tensors and levels) so results agree
+bit-for-bit wherever intermediate values are exactly representable, and to
+within 1e-9 relative everywhere else.  ``tests/test_batch_parity.py`` locks
+the two paths together; ``docs/cost_model.md`` maps every scalar method to
+its vectorized counterpart.
+
+numpy is an optional dependency of this module: when it is unavailable
+(:data:`HAVE_NUMPY` is ``False``) the schedulers silently fall back to the
+scalar path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Sequence
+
+try:  # pragma: no cover - exercised implicitly on numpy-less installs
+    import numpy as np
+
+    HAVE_NUMPY = True
+except ImportError:  # pragma: no cover
+    np = None  # type: ignore[assignment]
+    HAVE_NUMPY = False
+
+from repro.arch.accelerator import Accelerator
+from repro.mapping.mapping import Mapping
+from repro.model.nest import REDUCTION_DIMS
+from repro.workloads.layer import DIMENSION_NAMES, Layer, RELEVANCE, TensorKind
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.mapping.space import MappingDraws
+
+#: Column index of each layer dimension in the factor matrices.
+DIM_INDEX: dict[str, int] = {dim: i for i, dim in enumerate(DIMENSION_NAMES)}
+
+#: Padding sentinel used in the flattened loop arrays.
+PAD = -1
+
+
+def _require_numpy() -> None:
+    if not HAVE_NUMPY:
+        raise RuntimeError(
+            "repro.model.batch requires numpy; install it or use the scalar CostModel"
+        )
+
+
+class MappingBatch:
+    """A batch of candidate mappings of one layer, as factor matrices.
+
+    Attributes
+    ----------
+    layer:
+        The layer every candidate maps (one batch = one layer).
+    size:
+        Number of candidates ``B``.
+    num_levels:
+        Memory levels ``L`` covered by every candidate.
+    temporal / spatial:
+        ``float64[B, L, D]`` per-dimension factor products of the temporal /
+        spatial loops at each level (missing dimensions are 1).
+    loop_level / loop_dim / loop_bound:
+        The flattened temporal-loop sequences, innermost level first and
+        within a level in permutation order (innermost loop first), padded
+        with :data:`PAD` / bound 1 to the widest candidate.  The stationarity
+        rules (re-fetch factors, pending reductions) depend on this order,
+        not just on the factor products.  Bound-1 loops are kept: a bound-1
+        tensor-relevant loop still ends the stationary region of the walk.
+    """
+
+    def __init__(
+        self,
+        layer: Layer,
+        temporal,
+        spatial,
+        loop_level,
+        loop_dim,
+        loop_bound,
+        source=None,
+    ):
+        self.layer = layer
+        self.temporal = temporal
+        self.spatial = spatial
+        self.loop_level = loop_level
+        self.loop_dim = loop_dim
+        self.loop_bound = loop_bound
+        self._source = source
+        self.size = int(temporal.shape[0])
+        self.num_levels = int(temporal.shape[1])
+
+    def __len__(self) -> int:
+        return self.size
+
+    # ------------------------------------------------------------ construction
+    @classmethod
+    def from_draws(cls, draws: "MappingDraws") -> "MappingBatch":
+        """Pack sampled factor placements (no ``Mapping`` objects involved)."""
+        _require_numpy()
+        return cls._from_level_loops(
+            draws.layer, draws.num_levels, draws.temporal, draws.spatial, source=draws
+        )
+
+    @classmethod
+    def from_mappings(cls, mappings: Sequence[Mapping]) -> "MappingBatch":
+        """Pack existing mappings (all of one layer, with equal level counts)."""
+        _require_numpy()
+        if not mappings:
+            raise ValueError("cannot build a batch from zero mappings")
+        layer = mappings[0].layer
+        num_levels = mappings[0].num_levels
+        for mapping in mappings:
+            if mapping.layer != layer:
+                raise ValueError("all mappings of a batch must map the same layer")
+            if mapping.num_levels != num_levels:
+                raise ValueError("all mappings of a batch must cover the same levels")
+        temporal = [
+            [[(loop.dim, loop.bound) for loop in level.temporal] for level in mapping.levels]
+            for mapping in mappings
+        ]
+        spatial = [
+            [[(loop.dim, loop.bound) for loop in level.spatial] for level in mapping.levels]
+            for mapping in mappings
+        ]
+        return cls._from_level_loops(layer, num_levels, temporal, spatial, source=list(mappings))
+
+    @classmethod
+    def _from_level_loops(cls, layer, num_levels, temporal_loops, spatial_loops, source):
+        size = len(temporal_loops)
+        D = len(DIMENSION_NAMES)
+        tf = np.ones((size, num_levels, D), dtype=np.float64)
+        sf = np.ones((size, num_levels, D), dtype=np.float64)
+        max_loops = 1
+        for levels in temporal_loops:
+            total = sum(len(loops) for loops in levels)
+            if total > max_loops:
+                max_loops = total
+        loop_level = np.full((size, max_loops), PAD, dtype=np.int64)
+        loop_dim = np.full((size, max_loops), PAD, dtype=np.int64)
+        loop_bound = np.ones((size, max_loops), dtype=np.float64)
+        for b in range(size):
+            cursor = 0
+            for level_index, loops in enumerate(temporal_loops[b]):
+                for dim, bound in loops:
+                    d = DIM_INDEX[dim]
+                    tf[b, level_index, d] *= bound
+                    loop_level[b, cursor] = level_index
+                    loop_dim[b, cursor] = d
+                    loop_bound[b, cursor] = bound
+                    cursor += 1
+            for level_index, loops in enumerate(spatial_loops[b]):
+                for dim, bound in loops:
+                    sf[b, level_index, DIM_INDEX[dim]] *= bound
+        return cls(layer, tf, sf, loop_level, loop_dim, loop_bound, source=source)
+
+    # ----------------------------------------------------------- materialization
+    def mapping_at(self, index: int) -> Mapping:
+        """Materialize candidate ``index`` as a full :class:`Mapping` object.
+
+        Only the winning candidates of a search ever need this; the rest of
+        the batch lives and dies as matrix rows.
+        """
+        if self._source is None:
+            raise ValueError("this batch was built without a materialization source")
+        if isinstance(self._source, list):
+            return self._source[index]
+        return self._source.materialize(index)
+
+
+def _relevance_matrix():
+    """``int8[D, T]`` copy of the RELEVANCE table (loop dim -> tensor)."""
+    rel = np.zeros((len(DIMENSION_NAMES), len(TensorKind)), dtype=bool)
+    for dim, row in RELEVANCE.items():
+        for tensor, flag in row.items():
+            rel[DIM_INDEX[dim], int(tensor)] = bool(flag)
+    return rel
+
+
+@dataclass
+class BatchCostResult:
+    """Per-candidate evaluation results (arrays of length ``B``).
+
+    Invalid candidates carry ``inf`` latency and energy so they lose every
+    comparison, exactly like the scalar :class:`~repro.model.cost.CostResult`.
+    """
+
+    valid: "np.ndarray"
+    latency: "np.ndarray"
+    energy: "np.ndarray"
+    utilization: "np.ndarray"
+
+    @property
+    def edp(self) -> "np.ndarray":
+        """Energy-delay product per candidate (mirrors ``CostResult.edp``)."""
+        return self.energy * self.latency
+
+    def __len__(self) -> int:
+        return int(self.valid.shape[0])
+
+    @property
+    def num_valid(self) -> int:
+        """Number of valid candidates in the batch."""
+        return int(self.valid.sum())
+
+    def score(self, metric: str) -> "np.ndarray":
+        """Scalar-to-minimise per candidate under ``metric`` (inf when invalid)."""
+        if metric == "latency":
+            return self.latency
+        if metric == "energy":
+            return self.energy
+        if metric == "edp":
+            return self.edp
+        raise ValueError(f"unknown metric {metric!r}")
+
+
+class BatchCostModel:
+    """Evaluate batches of mappings of one architecture with numpy.
+
+    The constructor precomputes every architecture-dependent constant (level
+    capacities, bandwidths, tensor bindings, storage-level pairs of the
+    boundary flows, energy constants) so :meth:`evaluate_batch` only runs
+    array arithmetic.
+    """
+
+    def __init__(self, accelerator: Accelerator):
+        _require_numpy()
+        self.accelerator = accelerator
+        hierarchy = accelerator.hierarchy
+        self.num_levels = len(hierarchy)
+        self.dram_index = hierarchy.dram_index
+        self.pe_level = accelerator.pe_level_index()
+        self._rel = _relevance_matrix()
+        # Per-level constants.
+        self._fanout = np.array([level.spatial_fanout for level in hierarchy], dtype=np.float64)
+        self._capacity = np.array(
+            [
+                np.inf if level.is_unbounded else float(level.capacity_bytes)
+                for level in hierarchy
+            ],
+            dtype=np.float64,
+        )
+        self._bandwidth = [level.bandwidth_words_per_cycle for level in hierarchy]
+        self._bytes = {tensor: float(accelerator.precision.bytes_for(tensor)) for tensor in TensorKind}
+        self._holds = {
+            tensor: np.array([level.holds(tensor) for level in hierarchy], dtype=bool)
+            for tensor in TensorKind
+        }
+        # Boundary-flow structure: (tensor, child, parent) pairs are a pure
+        # function of the architecture, in the same order NestAnalysis
+        # iterates them (tensors in TensorKind order, levels innermost first).
+        self._flow_pairs: list[tuple[TensorKind, int, int]] = []
+        for tensor in TensorKind:
+            levels = hierarchy.levels_holding(tensor)
+            for child, parent in zip(levels, levels[1:]):
+                self._flow_pairs.append((tensor, child, parent))
+        self._innermost = {tensor: hierarchy.innermost_level_for(tensor) for tensor in TensorKind}
+        # Relevance-filtered spatial dimension masks used by the multicast /
+        # spatial-reduction factor (True where the dim is (ir)relevant).
+        self._irrelevant_dims = {
+            tensor: ~self._rel[:, int(tensor)] for tensor in TensorKind
+        }
+        self._multicast = accelerator.noc.multicast
+        # Energy constants.
+        table = accelerator.energy
+        self._level_energy_pj = [table.access_energy(level.name) for level in hierarchy]
+        self._mac_pj = table.mac_energy_pj
+        self._hop_pj = table.noc_hop_energy_pj
+        rows, cols = accelerator.pe_array.rows, accelerator.pe_array.cols
+        self._average_hops = (rows + cols) / 2.0
+        self._total_lanes = accelerator.pe_array.num_pes * accelerator.pe_array.macs_per_pe
+        self._reduction_dim_indices = np.array(
+            [DIM_INDEX[dim] for dim in REDUCTION_DIMS], dtype=np.int64
+        )
+
+    # ------------------------------------------------------------------ helpers
+    def _refetch_and_pending(self, batch: MappingBatch):
+        """Per-candidate re-fetch factors and pending-reduction flags.
+
+        Returns ``refetch[(tensor, child)] -> float64[B]`` for every boundary
+        flow plus ``pending[child] -> bool[B]`` for the output flows.  The
+        walk is the scalar stationarity rule vectorized: within the loop
+        sequence restricted to levels ``>= child``, every loop at-or-outside
+        the innermost tensor-relevant loop contributes its bound.  The
+        product is accumulated loop-by-loop (sequential, like the scalar
+        walk) so the float rounding matches the oracle exactly.
+        """
+        level = batch.loop_level  # [B, M]
+        dim = batch.loop_dim
+        bound = batch.loop_bound
+        B, M = level.shape
+        present = dim >= 0
+        dim_safe = np.where(present, dim, 0)
+        rel = self._rel[dim_safe]  # [B, M, T]
+        is_reduction = np.isin(dim_safe, self._reduction_dim_indices) & present
+
+        refetch: dict[tuple[TensorKind, int], np.ndarray] = {}
+        pending: dict[int, np.ndarray] = {}
+        children = sorted({child for _, child, _ in self._flow_pairs})
+        for child in children:
+            mask = (level >= child) & present  # loops_above(child)
+            for tensor in TensorKind:
+                if not any(c == child and t is tensor for t, c, _ in self._flow_pairs):
+                    continue
+                relevant = rel[:, :, int(tensor)] & mask
+                seen = np.logical_or.accumulate(relevant, axis=1)
+                counted = seen & mask
+                factor = np.ones(B, dtype=np.float64)
+                for j in range(M):
+                    factor = factor * np.where(counted[:, j], bound[:, j], 1.0)
+                refetch[(tensor, child)] = factor
+            # reduction_pending_above(child): a reduction-dim temporal loop
+            # strictly outside the innermost output-relevant loop.
+            relevant = rel[:, :, int(TensorKind.OUTPUT)] & mask
+            seen = np.logical_or.accumulate(relevant, axis=1)
+            seen_before = np.concatenate(
+                [np.zeros((B, 1), dtype=bool), seen[:, :-1]], axis=1
+            )
+            pending[child] = np.any(seen_before & mask & is_reduction, axis=1)
+        return refetch, pending
+
+    def _spatial_factor_between(self, sf, child: int, parent: int, tensor: TensorKind):
+        """Product of tensor-irrelevant spatial factors at levels ``(child, parent]``."""
+        dims = self._irrelevant_dims[tensor]
+        span = sf[:, child + 1 : parent + 1, :][:, :, dims]
+        return span.reshape(span.shape[0], -1).prod(axis=1)
+
+    # ----------------------------------------------------------------- evaluate
+    def evaluate_batch(self, batch: MappingBatch) -> BatchCostResult:
+        """Validate and evaluate every candidate of ``batch`` at once."""
+        layer = batch.layer
+        B = batch.size
+        tf, sf = batch.temporal, batch.spatial
+        L, D = self.num_levels, len(DIMENSION_NAMES)
+
+        if batch.num_levels != self.num_levels:
+            inf = np.full(B, np.inf)
+            return BatchCostResult(
+                valid=np.zeros(B, dtype=bool),
+                latency=inf,
+                energy=inf.copy(),
+                utilization=np.zeros(B),
+            )
+
+        bounds = np.array([layer.bounds[dim] for dim in DIMENSION_NAMES], dtype=np.float64)
+        total = tf * sf  # per-level per-dim factor products
+
+        # -------------------------------------------------------- validation
+        dim_products = total.prod(axis=1)  # [B, D]
+        consistent = np.all(dim_products == bounds, axis=1)
+        spatial_per_level = sf.prod(axis=2)  # [B, L]
+        fanout_ok = np.all(spatial_per_level <= self._fanout, axis=1)
+
+        # ------------------------------------------------------- tile sizes
+        # footprint[b, l, d]: product of d-factors below level l plus the
+        # spatial factors at l itself (NestAnalysis._dim_footprint_below).
+        below = np.ones((B, L, D), dtype=np.float64)
+        if L > 1:
+            below[:, 1:, :] = np.cumprod(total, axis=1)[:, :-1, :]
+        footprint = below * sf
+
+        stride = float(layer.stride)
+        f = {dim: footprint[:, :, DIM_INDEX[dim]] for dim in DIMENSION_NAMES}
+        tiles = {}
+        tiles[TensorKind.WEIGHT] = f["R"] * f["S"] * f["C"] * f["K"]
+        tiles[TensorKind.OUTPUT] = f["P"] * f["Q"] * f["K"] * f["N"]
+        width = (f["P"] - 1.0) * stride + f["R"]
+        height = (f["Q"] - 1.0) * stride + f["S"]
+        tiles[TensorKind.INPUT] = width * height * f["C"] * f["N"]
+        for tensor in TensorKind:
+            tile = tiles[tensor]
+            tile[:, ~self._holds[tensor]] = 0.0
+            if self._holds[tensor][self.dram_index]:
+                tile[:, self.dram_index] = float(layer.tensor_volume(tensor))
+
+        # Buffer occupancy (utilization_bytes, summed in TensorKind order).
+        used_bytes = np.zeros((B, L), dtype=np.float64)
+        for tensor in TensorKind:
+            used_bytes = used_bytes + tiles[tensor] * self._bytes[tensor]
+        buffers_ok = np.all(used_bytes <= self._capacity, axis=1)
+
+        valid = consistent & fanout_ok & buffers_ok
+
+        # --------------------------------------------------- boundary flows
+        refetch, pending = self._refetch_and_pending(batch)
+        # active_instances(l): product of spatial factors at levels > l.
+        instances = np.ones((B, L), dtype=np.float64)
+        if L > 1:
+            suffix = np.cumprod(spatial_per_level[:, ::-1], axis=1)[:, ::-1]
+            instances[:, :-1] = suffix[:, 1:]
+
+        reads = np.zeros((B, L, len(TensorKind)), dtype=np.float64)
+        writes = np.zeros((B, L, len(TensorKind)), dtype=np.float64)
+        # Per-parent-level words served downward+upward (performance model)
+        # and per-tensor NoC boundary words (energy model), accumulated flow
+        # by flow in the scalar iteration order.
+        words_served = np.zeros((B, L), dtype=np.float64)
+        noc_words = {tensor: np.zeros(B, dtype=np.float64) for tensor in TensorKind}
+
+        for tensor, child, parent in self._flow_pairs:
+            t = int(tensor)
+            tile = tiles[tensor][:, child]
+            words_into_child = tile * refetch[(tensor, child)] * instances[:, child]
+            raw_lanes = self._spatial_factor_between(sf, child, parent, tensor)
+            multicast = raw_lanes if self._multicast else np.ones(B, dtype=np.float64)
+            words_read_from_parent = words_into_child / np.maximum(multicast, 1.0)
+            words_written_to_parent = np.zeros(B, dtype=np.float64)
+            words_read_back = np.zeros(B, dtype=np.float64)
+            if tensor is TensorKind.OUTPUT:
+                reduction_lanes = np.maximum(raw_lanes, 1.0)
+                words_written_to_parent = words_into_child / reduction_lanes
+                words_read_back = np.where(pending[child], words_written_to_parent, 0.0)
+                words_into_child = words_read_back * reduction_lanes
+                words_read_from_parent = words_read_back
+
+            writes[:, child, t] += words_into_child
+            reads[:, parent, t] += words_read_from_parent
+            writes[:, parent, t] += words_written_to_parent
+            reads[:, child, t] += words_written_to_parent
+
+            words_served[:, parent] = words_served[:, parent] + (
+                words_read_from_parent + words_written_to_parent
+            )
+            if child < self.pe_level <= parent:
+                noc_words[tensor] = noc_words[tensor] + (
+                    words_into_child + words_written_to_parent + words_read_back
+                )
+
+        # Compute-side accesses at the innermost storing level of each tensor.
+        macs = float(layer.macs)
+        for tensor in TensorKind:
+            innermost = self._innermost[tensor]
+            t = int(tensor)
+            if tensor is TensorKind.OUTPUT:
+                reads[:, innermost, t] += macs
+                writes[:, innermost, t] += macs
+            else:
+                reads[:, innermost, t] += macs
+
+        # ------------------------------------------------------------ latency
+        compute_cycles = tf.reshape(B, -1).prod(axis=1)
+        latency = compute_cycles
+        for index in range(L):
+            cycles = words_served[:, index] / (self._bandwidth[index] * instances[:, index])
+            latency = np.maximum(latency, cycles)
+
+        # ------------------------------------------------------------- energy
+        mac_energy = macs * self._mac_pj
+        level_energy_sum = np.zeros(B, dtype=np.float64)
+        for index in range(L):
+            accesses = np.zeros(B, dtype=np.float64)
+            for tensor in TensorKind:
+                t = int(tensor)
+                accesses = accesses + (reads[:, index, t] + writes[:, index, t])
+            level_energy_sum = level_energy_sum + accesses * self._level_energy_pj[index]
+        total_noc_words = np.zeros(B, dtype=np.float64)
+        for tensor in TensorKind:
+            total_noc_words = total_noc_words + noc_words[tensor]
+        noc_energy = total_noc_words * self._average_hops * self._hop_pj
+        energy = (mac_energy + noc_energy) + level_energy_sum
+
+        utilization = np.minimum(1.0, sf.reshape(B, -1).prod(axis=1) / self._total_lanes)
+
+        return BatchCostResult(
+            valid=valid,
+            latency=np.where(valid, latency, np.inf),
+            energy=np.where(valid, energy, np.inf),
+            utilization=np.where(valid, utilization, 0.0),
+        )
+
+    def evaluate_mappings(self, mappings: Sequence[Mapping]) -> BatchCostResult:
+        """Convenience: pack ``mappings`` into a batch and evaluate it."""
+        return self.evaluate_batch(MappingBatch.from_mappings(mappings))

@@ -138,3 +138,58 @@ class TestTVMLikeTuner:
         tuner = TVMLikeTuner(ARCH, trials=4, batch_size=4, seed=9)
         result = tuner.schedule(SMALL_LAYER)
         assert result.mapping.is_consistent()
+
+
+class TestWallClockBudget:
+    """The search baselines must honor a wall-clock budget, not only their
+    iteration counts, so time-to-solution tables are apples-to-apples."""
+
+    def test_zero_budget_returns_immediately(self):
+        for scheduler in (
+            RandomScheduler(ARCH, max_attempts=10**9, num_valid=10**9, time_budget_seconds=0.0),
+            TimeloopHybridScheduler(ARCH, max_evaluations=10**9, time_budget_seconds=0.0),
+            TVMLikeTuner(ARCH, trials=10**6, time_budget_seconds=0.0),
+        ):
+            result = scheduler.schedule(SMALL_LAYER)
+            assert result.num_sampled == 0, type(scheduler).__name__
+            assert result.mapping is None
+            assert result.elapsed_seconds < 1.0
+
+    def test_budget_cuts_an_unbounded_iteration_count(self):
+        import time
+
+        # Without a budget this configuration would draw ~10^9 samples.
+        scheduler = RandomScheduler(
+            ARCH, max_attempts=10**9, num_valid=10**9, time_budget_seconds=0.2
+        )
+        start = time.perf_counter()
+        result = scheduler.schedule(MEDIUM_LAYER)
+        elapsed = time.perf_counter() - start
+        assert 0 < result.num_sampled < 10**6
+        assert elapsed < 5.0  # generous CI headroom over the 0.2 s budget
+
+    def test_budget_applies_to_batched_path_too(self):
+        scheduler = RandomScheduler(
+            ARCH,
+            max_attempts=10**9,
+            num_valid=10**9,
+            time_budget_seconds=0.2,
+            eval_batch_size=64,
+        )
+        result = scheduler.schedule(MEDIUM_LAYER)
+        assert 0 < result.num_sampled < 10**6
+        assert result.elapsed_seconds < 5.0
+
+    def test_budget_validation(self):
+        with pytest.raises(ValueError):
+            RandomScheduler(ARCH, time_budget_seconds=-1.0)
+        with pytest.raises(ValueError):
+            RandomScheduler(ARCH, eval_batch_size=0)
+
+    def test_unbudgeted_runs_keep_their_fingerprint(self):
+        # Budget-free configurations fingerprint exactly as before, so
+        # existing cache entries stay valid; budgeted ones key separately.
+        free = RandomScheduler(ARCH, seed=1)
+        assert "time_budget" not in free.config_fingerprint()
+        capped = RandomScheduler(ARCH, seed=1, time_budget_seconds=0.5)
+        assert "time_budget" in capped.config_fingerprint()

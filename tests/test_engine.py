@@ -254,7 +254,7 @@ class TestStatsNoneRegression:
         import repro.cli as cli
 
         monkeypatch.setattr(
-            cli, "_make_scheduler", lambda name, arch, seed=0: CoSAScheduler(arch, backend=_FailingBackend())
+            cli, "_make_scheduler", lambda name, arch, **kw: CoSAScheduler(arch, backend=_FailingBackend())
         )
         code = cli.main(["schedule", "3_13_256_256_1"])
         captured = capsys.readouterr()

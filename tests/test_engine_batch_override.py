@@ -1,0 +1,31 @@
+"""Engine batch-size override: validation and budget-capped refusal."""
+
+import pytest
+
+from repro.arch import simba_like
+from repro.baselines import RandomScheduler
+from repro.engine import SchedulingEngine
+
+ARCH = simba_like()
+
+
+def test_engine_rejects_nonpositive_batch_size():
+    with pytest.raises(ValueError):
+        SchedulingEngine(RandomScheduler(ARCH), batch_size=0)
+
+
+def test_engine_override_applies_to_budget_free_scheduler():
+    scheduler = RandomScheduler(ARCH)
+    before = scheduler.config_fingerprint()
+    SchedulingEngine(scheduler, batch_size=128)
+    assert scheduler.eval_batch_size == 128
+    assert scheduler.config_fingerprint() == before  # fingerprint untouched
+
+
+def test_engine_refuses_to_rekey_budget_capped_scheduler():
+    scheduler = RandomScheduler(ARCH, time_budget_seconds=1.0, eval_batch_size=64)
+    with pytest.raises(ValueError):
+        SchedulingEngine(scheduler, batch_size=128)
+    # A no-op override (same value) is allowed.
+    SchedulingEngine(scheduler, batch_size=64)
+    assert scheduler.eval_batch_size == 64
