@@ -1,33 +1,37 @@
 """Architecture exploration: how the best schedule changes with the hardware.
 
-Schedules the same layer on the three architecture presets of the paper
-(baseline 4x4, the 8x8-PE variant of Fig. 9a and the enlarged-buffer variant
-of Fig. 9b) and shows how CoSA adapts its tiling and spatial mapping.
+Schedules the same layer on every spatial architecture preset of the
+registry (the paper's baseline 4x4, the 8x8-PE variant of Fig. 9a and the
+enlarged-buffer variant of Fig. 9b) and shows how CoSA adapts its tiling and
+spatial mapping.  The presets are discovered through the architecture
+registry, so a newly registered preset automatically joins the sweep.
 
 Run:  python examples/architecture_exploration.py
 """
 
-from repro.arch import architecture_presets
-from repro.core import CoSAScheduler
-from repro.model import CostModel
-from repro.workloads import layer_from_name
+from repro.api import RunSpec, architectures, run
 
 
 def main() -> None:
-    layer = layer_from_name("3_14_256_256_1")
+    layer = "3_14_256_256_1"
     print(f"Layer {layer}\n")
 
-    for name, accelerator in architecture_presets().items():
-        scheduler = CoSAScheduler(accelerator)
-        result = scheduler.schedule(layer)
-        cost = CostModel(accelerator).evaluate(result.mapping)
+    for name in architectures.available():
+        if name.startswith("gpu-"):
+            continue  # the GPU target pairs with the 'gpu' scheduler instead
+        accelerator = architectures.create(name)
+        result = run(
+            RunSpec.from_dict(
+                {"kind": "schedule", "arch": name, "workload": {"layers": [layer]}}
+            )
+        )
+        outcome = result.data["outcomes"][0]
         print(f"[{name}]  {accelerator.num_pes} PEs, "
               f"GB={accelerator.hierarchy['GlobalBuffer'].capacity_bytes // 1024} KiB")
-        print(f"  schedule : {result.mapping.summary()}")
-        print(f"  latency  : {cost.latency / 1e6:.3f} MCycles "
-              f"(bound by {cost.latency_breakdown.bound_by})")
-        print(f"  energy   : {cost.energy / 1e6:.2f} uJ")
-        print(f"  solve    : {result.solve_time_seconds:.1f}s\n")
+        print(f"  schedule : {outcome['mapping']}")
+        print(f"  latency  : {outcome['metrics']['latency'] / 1e6:.3f} MCycles")
+        print(f"  energy   : {outcome['metrics']['energy'] / 1e6:.2f} uJ")
+        print(f"  solve    : {outcome['solve_time_seconds']:.1f}s\n")
 
 
 if __name__ == "__main__":

@@ -1,35 +1,44 @@
 """GPU scheduling with CoSA (the Sec. V-D extension).
 
-Schedules a few ResNet-50 layers for a K80-like GPU target and compares the
-one-shot CoSA schedule against a TVM-like iterative tuner on the same
-analytical GPU model.
+Schedules a few ResNet-50 layers for the K80-like GPU target and compares
+the one-shot CoSA-GPU schedule against the TVM-like iterative tuner on the
+same analytical GPU model.  Both sides are declarative: the ``gpu`` and
+``tvm`` schedulers and the ``gpu-k80`` architecture all resolve through the
+plugin registries — the same pairing works from the shell as
+``repro schedule LAYER --scheduler gpu --arch gpu-k80``.
 
 Run:  python examples/gpu_scheduling.py
 """
 
-from repro.arch.gpu import gpu_as_accelerator
-from repro.baselines import TVMLikeTuner
-from repro.core.gpu import CoSAGPUScheduler
-from repro.model import CostModel
-from repro.workloads import workload_suite
+from repro.api import RunSpec, run
+
+
+def _gpu_spec(scheduler: dict | str) -> dict:
+    return {
+        "kind": "schedule",
+        "arch": "gpu-k80",
+        "workload": {"network": "resnet50", "first_layers": 4},
+        "scheduler": scheduler,
+    }
 
 
 def main() -> None:
-    gpu = gpu_as_accelerator()
-    cost_model = CostModel(gpu)
-    cosa = CoSAGPUScheduler()
-    tuner = TVMLikeTuner(gpu, trials=20)
+    tvm = run(RunSpec.from_dict(_gpu_spec({"name": "tvm", "options": {"trials": 20}})))
+    cosa = run(RunSpec.from_dict(_gpu_spec("gpu")))
 
     print(f"{'layer':20s} {'TVM-like':>12s} {'CoSA':>12s} {'speedup':>9s} "
           f"{'threads/block':>14s} {'blocks':>7s}")
-    for layer in workload_suite()["resnet50"][:4]:
-        tvm_result = tuner.schedule(layer)
-        gpu_result = cosa.schedule(layer)
-        cosa_latency = cost_model.evaluate(gpu_result.mapping).latency
+    for tvm_outcome, gpu_outcome, detail in zip(
+        tvm.data["outcomes"],
+        cosa.data["outcomes"],
+        (o.detail for o in cosa.artifacts["network"].outcomes),
+    ):
+        tvm_latency = tvm_outcome["metrics"]["latency"]
+        cosa_latency = gpu_outcome["metrics"]["latency"]
         print(
-            f"{layer.name:20s} {tvm_result.cost.latency:12.3e} {cosa_latency:12.3e} "
-            f"{tvm_result.cost.latency / cosa_latency:8.2f}x "
-            f"{gpu_result.threads_per_block:14d} {gpu_result.blocks:7d}"
+            f"{gpu_outcome['layer']:20s} {tvm_latency:12.3e} {cosa_latency:12.3e} "
+            f"{tvm_latency / cosa_latency:8.2f}x "
+            f"{detail.threads_per_block:14d} {detail.blocks:7d}"
         )
 
 

@@ -1,62 +1,49 @@
 """Schedule a slice of ResNet-50 with CoSA and the search baselines.
 
-Reproduces the flavour of Fig. 6 on a handful of layers: per-layer latency of
-Random search, the Timeloop-Hybrid-style mapper and CoSA, all evaluated with
-the analytical cost model.  Every scheduler is driven through the
-:class:`~repro.engine.engine.SchedulingEngine`, which solves the layers in
-parallel and caches finished mappings: pass a cache file and a second run of
-this script performs no solves at all.
+Reproduces the flavour of Fig. 6 on a handful of layers through the
+declarative facade: one ``kind="compare"`` :class:`~repro.api.specs.RunSpec`
+runs Random search, the Timeloop-Hybrid-style mapper and CoSA, evaluates all
+three on the analytical platform and reports per-layer and geomean speedups.
+Pass a cache file and a second run of this script performs no solves at all.
 
 Run:  python examples/resnet50_scheduling.py [num_layers] [jobs] [cache_file]
 """
 
 import sys
 
-from repro.arch import simba_like
-from repro.baselines import RandomScheduler, TimeloopHybridScheduler
-from repro.core import CoSAScheduler
-from repro.engine import MappingCache, SchedulingEngine
-from repro.experiments.harness import geometric_mean
-from repro.workloads import workload_suite
+from repro.api import RunSpec, run
 
 
 def main(num_layers: int = 5, jobs: int = 2, cache_file: str | None = None) -> None:
-    accelerator = simba_like()
-    layers = workload_suite()["resnet50"][:num_layers]
+    spec = RunSpec.from_dict(
+        {
+            "kind": "compare",
+            "arch": "baseline-4x4",
+            "workload": {"network": "resnet50", "first_layers": num_layers},
+            "platform": {"name": "timeloop", "metric": "latency"},
+            "engine": {"jobs": jobs, "cache": cache_file},
+        }
+    )
+    result = run(spec)
+    data = result.data
 
-    # One shared cache: the key includes the scheduler identity, so all three
-    # schedulers can use the same store without collisions.
-    cache = MappingCache(path=cache_file)
-    schedulers = [
-        RandomScheduler(accelerator),
-        TimeloopHybridScheduler(accelerator, num_threads=2, termination_condition=64,
-                                max_evaluations=800),
-        CoSAScheduler(accelerator),
-    ]
-    networks = {}
-    for scheduler in schedulers:
-        engine = SchedulingEngine(scheduler, cache=cache)
-        networks[scheduler.name] = engine.schedule_network(layers, jobs=jobs, label="resnet50")
-        stats = networks[scheduler.name].stats
-        print(f"[{scheduler.name}] {stats.solves} solves, {stats.dedup_reuses} dedup reuses, "
-              f"{stats.wall_time_seconds:.1f}s wall")
+    # One shared cache serves all three schedulers: the cache key includes
+    # the scheduler identity, so there are no collisions.
+    for name, stats in data["engine_stats"].items():
+        print(
+            f"[{name}] {stats['solves']} solves, {stats['cache_hits']} cache hits, "
+            f"{stats['dedup_reuses']} dedup reuses, {stats['wall_time_seconds']:.1f}s wall"
+        )
 
     print()
     print(f"{'layer':20s} {'Random':>12s} {'Hybrid':>12s} {'CoSA':>12s} {'CoSA speedup':>14s}")
-    speedups = []
-    for index, layer in enumerate(layers):
-        latencies = {
-            name: network.outcomes[index].metrics.get("latency", float("inf"))
-            for name, network in networks.items()
-        }
-        speedups.append(latencies["random"] / latencies["cosa"])
+    for row in data["comparisons"]:
         print(
-            f"{layer.name:20s} {latencies['random']:12.3e} {latencies['timeloop-hybrid']:12.3e} "
-            f"{latencies['cosa']:12.3e} {speedups[-1]:13.2f}x"
+            f"{row['layer']:20s} {row['random_value']:12.3e} {row['hybrid_value']:12.3e} "
+            f"{row['cosa_value']:12.3e} {row['cosa_speedup']:13.2f}x"
         )
-    print(f"\ngeomean CoSA speedup over Random: {geometric_mean(speedups):.2f}x")
+    print(f"\ngeomean CoSA speedup over Random: {data['cosa_geomean']:.2f}x")
     if cache_file is not None:
-        cache.save()
         print(f"mapping cache written to {cache_file}")
 
 

@@ -13,9 +13,21 @@ The package is organised around the paper's pipeline:
 * :mod:`repro.model` — the Timeloop-like analytical performance/energy model,
 * :mod:`repro.noc` — the transaction-level NoC simulator,
 * :mod:`repro.baselines` — Random search and the Timeloop-Hybrid-style mapper,
-* :mod:`repro.experiments` — harnesses regenerating every table and figure.
+* :mod:`repro.experiments` — harnesses regenerating every table and figure,
+* :mod:`repro.api` — the declarative public facade: spec objects, plugin
+  registries for every axis, and the versioned ``run()`` entry point.
 
-Quickstart::
+Quickstart (declarative)::
+
+    from repro import RunSpec, run
+
+    result = run(RunSpec.from_dict({
+        "kind": "schedule",
+        "workload": {"layers": ["3_7_512_512_1"]},
+    }))
+    print(result.data["outcomes"][0]["metrics"]["latency"])
+
+Quickstart (imperative)::
 
     from repro import CoSAScheduler, simba_like, layer_from_name
     from repro.model import CostModel
@@ -44,12 +56,16 @@ __all__ = [
     "CoSAScheduler",
     "SchedulingEngine",
     "MappingCache",
+    "api",
+    "run",
+    "RunSpec",
+    "RunResult",
     "__version__",
 ]
 
 
 def __getattr__(name: str):
-    """Lazily expose the scheduler/engine to avoid importing scipy at package import time."""
+    """Lazily expose the scheduler/engine/api to avoid importing scipy at package import time."""
     if name == "CoSAScheduler":
         from repro.core.scheduler import CoSAScheduler
 
@@ -58,4 +74,8 @@ def __getattr__(name: str):
         import repro.engine as engine
 
         return getattr(engine, name)
+    if name in ("api", "run", "RunSpec", "RunResult"):
+        import repro.api as api
+
+        return api if name == "api" else getattr(api, name)
     raise AttributeError(f"module 'repro' has no attribute {name!r}")

@@ -1,0 +1,129 @@
+"""Declarative public API: spec objects, plugin registries, one ``run()``.
+
+Every experiment of the paper picks an architecture, a workload, a scheduler
+and an evaluation platform.  This package makes that shape the public
+contract:
+
+* :mod:`repro.api.specs` — typed, serializable spec dataclasses
+  (:class:`RunSpec` composing :class:`ArchSpec`, :class:`WorkloadSpec`,
+  :class:`SchedulerSpec`, :class:`PlatformSpec`, :class:`EngineSpec`),
+* :mod:`repro.api.registry` — string-keyed plugin registries for all four
+  axes with ``register_*`` decorators, typo-suggesting lookup errors and
+  introspectable ``available()``,
+* :mod:`repro.api.runner` — the single versioned entry point
+  ``run(spec) -> RunResult``; results stamp the payload ``schema_version``
+  and the resolved spec, and round-trip through ``to_dict``/``from_dict``/
+  JSON.
+
+Quickstart::
+
+    from repro.api import RunSpec, run
+
+    result = run(RunSpec.from_dict({
+        "kind": "compare",
+        "workload": {"network": "resnet50", "first_layers": 4},
+    }))
+    print(result.data["cosa_geomean"])
+    print(result.to_json())            # schema_version-stamped, reproducible
+
+Registering a plugin makes it reachable from specs, ``run()`` and the CLI
+without touching any of them::
+
+    from repro.api import register_scheduler
+
+    @register_scheduler("my-tuner")
+    def _make(accelerator, *, seed=0):
+        return MyTuner(accelerator, seed=seed)
+
+The heavyweight pipeline modules (comparison, engine, solvers) load lazily
+on first use, so ``import repro.api`` stays cheap.
+"""
+
+from repro.api.registry import (
+    ALL_REGISTRIES,
+    DuplicateNameError,
+    Registry,
+    UnknownNameError,
+    architectures,
+    platforms,
+    register_architecture,
+    register_platform,
+    register_scheduler,
+    register_workload,
+    schedulers,
+    workloads,
+)
+from repro.api.result import SCHEMA_VERSION, RunResult
+from repro.api.specs import (
+    ArchSpec,
+    EngineSpec,
+    PlatformSpec,
+    RunSpec,
+    SchedulerSpec,
+    WorkloadSpec,
+)
+
+# Populate the registries with everything the repository ships.
+from repro.api import builtin as _builtin  # noqa: F401  (imported for effect)
+
+__all__ = [
+    # registries
+    "ALL_REGISTRIES",
+    "DuplicateNameError",
+    "Registry",
+    "UnknownNameError",
+    "architectures",
+    "platforms",
+    "register_architecture",
+    "register_platform",
+    "register_scheduler",
+    "register_workload",
+    "schedulers",
+    "workloads",
+    # specs + result
+    "ArchSpec",
+    "EngineSpec",
+    "PlatformSpec",
+    "RunSpec",
+    "SchedulerSpec",
+    "WorkloadSpec",
+    "RunResult",
+    "SCHEMA_VERSION",
+    # entry point (lazy)
+    "run",
+    "load_spec",
+    # comparison pipeline (lazy)
+    "ComparisonConfig",
+    "LayerComparison",
+    "SpeedupSummary",
+    "build_schedulers",
+    "compare_on_layer",
+    "compare_on_network",
+    "geometric_mean",
+]
+
+#: Names resolved lazily to keep ``import repro.api`` free of scipy/numpy.
+_LAZY = {
+    "run": "repro.api.runner",
+    "load_spec": "repro.api.runner",
+    "ComparisonConfig": "repro.api.comparison",
+    "LayerComparison": "repro.api.comparison",
+    "SpeedupSummary": "repro.api.comparison",
+    "build_schedulers": "repro.api.comparison",
+    "compare_on_layer": "repro.api.comparison",
+    "compare_on_network": "repro.api.comparison",
+    "geometric_mean": "repro.api.comparison",
+}
+
+
+def __getattr__(name: str):
+    module_name = _LAZY.get(name)
+    if module_name is None:
+        raise AttributeError(f"module 'repro.api' has no attribute {name!r}")
+    import importlib
+
+    return getattr(importlib.import_module(module_name), name)
+
+
+def __dir__():
+    return sorted(set(globals()) | set(__all__))

@@ -1,0 +1,179 @@
+"""Built-in registrations for the four experiment axes.
+
+Importing :mod:`repro.api` loads this module once, populating the
+registries with everything the repository ships: the four spatial /
+GPU architecture presets, the four evaluated workloads, the five
+schedulers (CoSA, the three search baselines, CoSA-GPU) and the two
+evaluation platforms.  Heavy dependencies (scipy via the MIP backend,
+the NoC simulator) are imported inside the factories, so ``import
+repro.api`` stays light.
+
+Plugins follow the same pattern from any module::
+
+    from repro.api import register_scheduler
+
+    @register_scheduler("my-tuner", description="...")
+    def _make_my_tuner(accelerator, *, seed=0, **options):
+        return MyTuner(accelerator, seed=seed, **options)
+
+Scheduler factories receive the resolved accelerator plus the spec's
+options; :func:`repro.api.runner.run` additionally offers the engine-level
+search knobs (``seed``, ``eval_batch_size``, ``time_budget_seconds``) to
+factories whose signature accepts them.
+"""
+
+from __future__ import annotations
+
+from repro.api.registry import architectures, platforms, schedulers, workloads
+
+# ----------------------------------------------------------------- schedulers
+
+
+@schedulers.register("cosa", description="one-shot constrained-optimization (MIP) scheduler")
+def _make_cosa(accelerator, *, weights=None, backend=None, capacity_fraction=None):
+    from repro.core.scheduler import CoSAScheduler
+
+    return CoSAScheduler(
+        accelerator, weights=weights, backend=backend, capacity_fraction=capacity_fraction
+    )
+
+
+@schedulers.register("random", description="best of N random valid mappings (Random 5x baseline)")
+def _make_random(accelerator, **options):
+    from repro.baselines.random_search import RandomScheduler
+
+    return RandomScheduler(accelerator, **options)
+
+
+@schedulers.register("hybrid", description="Timeloop-style hybrid random/pruned mapper")
+def _make_hybrid(accelerator, **options):
+    from repro.baselines.timeloop_hybrid import TimeloopHybridScheduler
+
+    return TimeloopHybridScheduler(accelerator, **options)
+
+
+@schedulers.register("tvm", description="TVM-like iterative feedback-driven tuner")
+def _make_tvm(accelerator, **options):
+    from repro.baselines.tvm_like import TVMLikeTuner
+
+    return TVMLikeTuner(accelerator, **options)
+
+
+@schedulers.register(
+    "gpu",
+    description="CoSA-GPU: the Sec. V-D GPU instantiation (pair with a 'gpu-*' architecture)",
+)
+def _make_gpu(accelerator, *, weights=None, backend=None):
+    # CoSA-GPU derives its target from a GPUSpec (thread blocks as spatial
+    # levels, shared memory / registers as buffers), so it builds its own
+    # accelerator; run() verifies it matches the spec's architecture pick.
+    from repro.core.gpu import CoSAGPUScheduler
+
+    return CoSAGPUScheduler(weights=weights, backend=backend)
+
+
+# -------------------------------------------------------------- architectures
+
+
+@architectures.register("baseline-4x4", description="Simba-like baseline of Table V (4x4 PE mesh)")
+def _make_baseline():
+    from repro.arch.presets import simba_like
+
+    return simba_like()
+
+
+@architectures.register("pe-8x8", description="Fig. 9a variant: 8x8 PEs, 2x bandwidth")
+def _make_pe_8x8():
+    from repro.arch.presets import pe_array_8x8
+
+    return pe_array_8x8()
+
+
+@architectures.register("large-buffers", description="Fig. 9b variant: enlarged buffers")
+def _make_large_buffers():
+    from repro.arch.presets import large_buffers
+
+    return large_buffers()
+
+
+@architectures.register("gpu-k80", description="K80-like GPU target of Sec. V-D")
+def _make_gpu_k80():
+    from repro.arch.presets import gpu_k80
+
+    return gpu_k80()
+
+
+# ------------------------------------------------------------------ platforms
+
+
+@platforms.register("timeloop", description="analytical Timeloop-style cost model")
+def _make_timeloop_platform(accelerator, metric: str = "latency"):
+    from repro.model.cost import CostModel
+
+    model = CostModel(accelerator)
+
+    def evaluate(mapping) -> float:
+        if mapping is None:
+            return float("inf")
+        cost = model.evaluate(mapping)
+        if not cost.valid:
+            return float("inf")
+        if metric == "energy":
+            return cost.energy
+        if metric == "edp":
+            return cost.edp
+        return cost.latency
+
+    return evaluate
+
+
+@platforms.register("noc", description="transaction-level NoC simulator (always reports latency)")
+def _make_noc_platform(accelerator, metric: str = "latency"):
+    # The simulator models time, not energy: whatever ``metric`` the spec
+    # requests (it steers the search baselines), the platform value is the
+    # simulated latency — matching the paper's Fig. 10 methodology.
+    from repro.model.cost import CostModel
+    from repro.noc.simulator import NoCSimulator
+
+    model = CostModel(accelerator)
+    simulator = NoCSimulator(accelerator)
+
+    def evaluate(mapping) -> float:
+        if mapping is None:
+            return float("inf")
+        if not model.evaluate(mapping).valid:
+            return float("inf")
+        return simulator.simulate(mapping).latency
+
+    return evaluate
+
+
+# ------------------------------------------------------------------ workloads
+
+
+@workloads.register("alexnet", description="AlexNet (8 unique layers)")
+def _make_alexnet(batch: int = 1):
+    from repro.workloads.networks import alexnet_layers
+
+    return alexnet_layers(batch)
+
+
+@workloads.register("resnet50", description="ResNet-50 (23 unique layers)")
+def _make_resnet50(batch: int = 1):
+    from repro.workloads.networks import resnet50_layers
+
+    return resnet50_layers(batch)
+
+
+@workloads.register("resnext50", description="ResNeXt-50 32x4d (25 unique layers)")
+def _make_resnext50(batch: int = 1):
+    from repro.workloads.networks import resnext50_layers
+
+    return resnext50_layers(batch)
+
+
+@workloads.register("deepbench", description="DeepBench convolution kernels (9 layers)")
+def _make_deepbench(batch: int = 1):
+    from repro.workloads.networks import deepbench_layers
+
+    return deepbench_layers(batch)

@@ -1,0 +1,248 @@
+"""The single versioned entry point: ``run(spec) -> RunResult``.
+
+``run`` resolves every axis of a :class:`~repro.api.specs.RunSpec` through
+the plugin registries, drives the
+:class:`~repro.engine.engine.SchedulingEngine` (or the comparison pipeline),
+and returns a :class:`~repro.api.result.RunResult` stamped with the payload
+``schema_version`` and the fully resolved spec.  The CLI subcommands
+(``schedule``/``compare``/``suite``/``run``) are thin argument translators
+over this function, so a scheduler, architecture, workload or platform
+registered by a plugin is immediately reachable from every entry point.
+
+Payload shapes (``RunResult.data``) by kind:
+
+* ``schedule`` — ``label``, ``scheduler``, ``succeeded``, ``stats``
+  (engine counters) and one ``outcomes`` entry per layer: the unified
+  :meth:`~repro.engine.outcome.ScheduleOutcome.to_dict` summary plus a
+  rendered ``loop_nest`` and the evaluation platform's ``platform_value``.
+* ``compare`` — ``label``, ``platform``, ``metric``, per-layer
+  ``comparisons`` rows, the two geomeans and per-scheduler
+  ``engine_stats`` (the shape of the paper's speedup figures).
+* ``suite`` — ``scheduler``, ``succeeded`` and per-network
+  :meth:`~repro.engine.engine.NetworkSchedule.to_dict` payloads plus
+  aggregate ``stats``.
+"""
+
+from __future__ import annotations
+
+import inspect
+import json
+from pathlib import Path
+
+from repro.api.registry import architectures, platforms, schedulers, workloads
+from repro.api.result import RunResult
+from repro.api.specs import RunSpec, WorkloadSpec
+
+#: ``RunSpec.options`` keys accepted by ``kind="compare"`` (the triple's
+#: budget knobs; everything else about the triple is fixed by construction).
+COMPARE_OPTIONS = (
+    "hybrid_threads",
+    "hybrid_termination",
+    "hybrid_max_evaluations",
+    "random_valid",
+)
+
+
+def load_spec(path) -> RunSpec:
+    """Parse a :class:`RunSpec` from a JSON spec file."""
+    text = Path(path).read_text()
+    try:
+        data = json.loads(text)
+    except json.JSONDecodeError as error:
+        raise ValueError(f"spec file {path} is not valid JSON: {error}") from None
+    return RunSpec.from_dict(data)
+
+
+def run(spec: RunSpec) -> RunResult:
+    """Execute one declarative experiment and return its stamped result."""
+    if not isinstance(spec, RunSpec):
+        raise TypeError(f"run() expects a RunSpec, got {type(spec).__name__}")
+    accelerator = architectures.create(spec.arch.preset)
+
+    cache = None
+    if spec.engine.cache is not None:
+        from repro.engine import MappingCache
+
+        cache = MappingCache(path=spec.engine.cache)
+
+    if spec.kind == "compare":
+        result = _run_compare(spec, accelerator, cache)
+    elif spec.kind == "schedule":
+        result = _run_schedule(spec, accelerator, cache)
+    else:
+        result = _run_suite(spec, accelerator, cache)
+
+    if cache is not None:
+        cache.save()
+    return result
+
+
+# ----------------------------------------------------------------- resolution
+
+
+def _resolve_layers(workload: WorkloadSpec) -> tuple[str, list]:
+    """Resolve a workload spec into ``(label, layers)`` via the registry."""
+    from repro.workloads.networks import layer_from_name
+
+    if workload.network is not None:
+        label = workload.network
+        layers = workloads.create(workload.network, batch=workload.batch)
+    else:
+        label = "custom"
+        layers = [layer_from_name(name, batch=workload.batch) for name in workload.layers]
+    if workload.first_layers is not None:
+        layers = layers[: workload.first_layers]
+    return label, layers
+
+
+def _resolve_suite(workload: WorkloadSpec) -> dict:
+    """Resolve a workload spec into a ``{network: layers}`` suite."""
+    if workload.is_empty:
+        suite = {
+            name: workloads.create(name, batch=workload.batch)
+            for name in workloads.available()
+        }
+    else:
+        label, layers = _resolve_layers(workload)
+        return {label: layers}
+    if workload.first_layers is not None:
+        suite = {name: layers[: workload.first_layers] for name, layers in suite.items()}
+    return suite
+
+
+def _build_scheduler(spec: RunSpec, accelerator):
+    """Build the spec's scheduler through the registry.
+
+    Explicit ``SchedulerSpec.options`` are passed through verbatim (a typo
+    raises the factory's ``TypeError``).  The engine-level search knobs —
+    ``seed``, ``eval_batch_size``, ``time_budget_seconds`` — are offered
+    only to factories whose signature accepts them, so one spec drives both
+    seeded search baselines and knob-free one-shot schedulers.
+    """
+    factory = schedulers.get(spec.scheduler.name)
+    options = dict(spec.scheduler.options)
+    offered = {
+        "seed": spec.seed,
+        "eval_batch_size": spec.engine.batch_size,
+        "time_budget_seconds": spec.engine.time_budget,
+    }
+    parameters = inspect.signature(factory).parameters
+    accepts_any = any(
+        p.kind is inspect.Parameter.VAR_KEYWORD for p in parameters.values()
+    )
+    for name, value in offered.items():
+        if name not in options and (accepts_any or name in parameters):
+            options[name] = value
+    scheduler = factory(accelerator, **options)
+
+    if scheduler.accelerator.fingerprint() != accelerator.fingerprint():
+        raise ValueError(
+            f"scheduler {spec.scheduler.name!r} targets its own architecture "
+            f"({scheduler.accelerator.name!r}), which does not match the spec's "
+            f"architecture {spec.arch.preset!r} ({accelerator.name!r}); pick the "
+            "matching architecture preset (e.g. 'gpu-k80' for the 'gpu' scheduler)"
+        )
+    return scheduler
+
+
+# ----------------------------------------------------------------- run kinds
+
+
+def _run_schedule(spec: RunSpec, accelerator, cache) -> RunResult:
+    from repro.engine import SchedulingEngine
+    from repro.mapping.loopnest import render_loop_nest
+
+    label, layers = _resolve_layers(spec.workload)
+    scheduler = _build_scheduler(spec, accelerator)
+    engine = SchedulingEngine(scheduler, cache=cache)
+    network = engine.schedule_network(
+        layers, jobs=spec.engine.jobs, executor=spec.engine.executor, label=label
+    )
+    # The engine already evaluated the analytical metrics once per mapping,
+    # and the built-in "timeloop" platform reports exactly those — only other
+    # platforms need a separate evaluation pass.
+    evaluate = None
+    if spec.platform.name != "timeloop":
+        evaluate = platforms.create(spec.platform.name, accelerator, metric=spec.platform.metric)
+
+    outcomes = []
+    for outcome in network.outcomes:
+        entry = outcome.to_dict()
+        if outcome.mapping is not None:
+            entry["loop_nest"] = render_loop_nest(
+                outcome.mapping, level_names=list(accelerator.hierarchy.names)
+            )
+            if evaluate is None:
+                entry["platform_value"] = outcome.metrics.get(spec.platform.metric)
+            else:
+                value = evaluate(outcome.mapping)
+                entry["platform_value"] = value if value != float("inf") else None
+        else:
+            entry["loop_nest"] = None
+            entry["platform_value"] = None
+        outcomes.append(entry)
+
+    data = {
+        "label": label,
+        "scheduler": scheduler.name,
+        "succeeded": network.num_succeeded == len(network.outcomes),
+        "stats": network.stats.to_dict(),
+        "outcomes": outcomes,
+    }
+    artifacts = {"accelerator": accelerator, "scheduler": scheduler, "network": network}
+    return RunResult(kind="schedule", spec=spec, data=data, artifacts=artifacts)
+
+
+def _run_compare(spec: RunSpec, accelerator, cache) -> RunResult:
+    from repro.api.comparison import ComparisonConfig, compare_on_network
+
+    unknown = sorted(set(spec.options) - set(COMPARE_OPTIONS))
+    if unknown:
+        raise ValueError(
+            f"unknown compare option(s) {', '.join(map(repr, unknown))}; "
+            f"allowed: {', '.join(COMPARE_OPTIONS)}"
+        )
+    label, layers = _resolve_layers(spec.workload)
+    config = ComparisonConfig(
+        accelerator=accelerator,
+        platform=spec.platform.name,
+        metric=spec.platform.metric,
+        seed=spec.seed,
+        eval_batch_size=spec.engine.batch_size,
+        time_budget_seconds=spec.engine.time_budget,
+        **spec.options,
+    )
+    summary = compare_on_network(
+        label,
+        layers,
+        config,
+        jobs=spec.engine.jobs,
+        cache=cache,
+        executor=spec.engine.executor,
+    )
+
+    payload = summary.to_dict()
+    data = {
+        "label": payload.pop("label"),
+        "platform": spec.platform.name,
+        "metric": spec.platform.metric,
+        **payload,
+    }
+    artifacts = {"accelerator": accelerator, "summary": summary}
+    return RunResult(kind="compare", spec=spec, data=data, artifacts=artifacts)
+
+
+def _run_suite(spec: RunSpec, accelerator, cache) -> RunResult:
+    from repro.engine import SchedulingEngine
+
+    suite = _resolve_suite(spec.workload)
+    scheduler = _build_scheduler(spec, accelerator)
+    engine = SchedulingEngine(scheduler, cache=cache)
+    result = engine.schedule_suite(suite, jobs=spec.engine.jobs, executor=spec.engine.executor)
+
+    succeeded = all(
+        network.num_succeeded == len(network.outcomes) for network in result.networks.values()
+    )
+    data = {"scheduler": scheduler.name, "succeeded": succeeded, **result.to_dict()}
+    artifacts = {"accelerator": accelerator, "scheduler": scheduler, "suite": result}
+    return RunResult(kind="suite", spec=spec, data=data, artifacts=artifacts)

@@ -1,0 +1,331 @@
+"""Typed, serializable experiment specifications.
+
+A :class:`RunSpec` is the declarative description of one experiment: pick an
+architecture, a workload, a scheduler and an evaluation platform, plus the
+engine knobs (parallelism, cache, batching, budgets).  Specs are plain
+frozen dataclasses that round-trip losslessly through ``to_dict`` /
+``from_dict`` / JSON, so the same object serves Python callers, spec files
+on disk (``repro run spec.json``) and the stamped ``spec`` echo inside every
+:class:`~repro.api.result.RunResult`.
+
+Parsing is strict by design: unknown keys, wrong types and contradictory
+fields raise ``ValueError`` with messages that name the offending key and
+list what would have been accepted.  Name *resolution* (does this scheduler
+exist?) intentionally happens later, in :func:`repro.api.runner.run`, against
+the live registries — a spec referencing a plugin parses fine before the
+plugin is imported.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+#: Supported experiment kinds.
+RUN_KINDS = ("schedule", "compare", "suite")
+
+#: Platform metrics a spec may request.
+METRICS = ("latency", "energy", "edp")
+
+#: Executor kinds accepted by the engine.
+EXECUTORS = ("thread", "process")
+
+
+def _require_keys(data: Mapping, allowed: tuple[str, ...], where: str) -> None:
+    if not isinstance(data, Mapping):
+        raise ValueError(f"{where} must be a JSON object, got {type(data).__name__}")
+    unknown = sorted(set(data) - set(allowed))
+    if unknown:
+        raise ValueError(
+            f"unknown key(s) {', '.join(map(repr, unknown))} in {where}; "
+            f"allowed keys: {', '.join(allowed)}"
+        )
+
+
+def _require(condition: bool, message: str) -> None:
+    if not condition:
+        raise ValueError(message)
+
+
+def _check_int(value, where: str, minimum: int | None = None) -> int:
+    if not isinstance(value, int) or isinstance(value, bool):
+        raise ValueError(f"{where} must be an integer, got {value!r}")
+    if minimum is not None and value < minimum:
+        raise ValueError(f"{where} must be >= {minimum}, got {value}")
+    return value
+
+
+def _check_str(value, where: str) -> str:
+    if not isinstance(value, str) or not value:
+        raise ValueError(f"{where} must be a non-empty string, got {value!r}")
+    return value
+
+
+@dataclass(frozen=True)
+class ArchSpec:
+    """The architecture axis: a preset name from the architecture registry."""
+
+    preset: str = "baseline-4x4"
+
+    def __post_init__(self) -> None:
+        _check_str(self.preset, "ArchSpec.preset")
+
+    def to_dict(self) -> dict:
+        return {"preset": self.preset}
+
+    @classmethod
+    def from_dict(cls, data) -> "ArchSpec":
+        if isinstance(data, str):  # shorthand: "arch": "pe-8x8"
+            return cls(preset=data)
+        _require_keys(data, ("preset",), "ArchSpec")
+        return cls(preset=data.get("preset", "baseline-4x4"))
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """The workload axis: a registered network, or explicit layer strings.
+
+    Exactly one of ``network`` / ``layers`` names the workload (``suite``
+    runs may leave both empty to mean *every registered workload*).
+    ``first_layers`` truncates for quick runs; ``batch`` is the batch size
+    ``N`` of every layer.
+    """
+
+    network: str | None = None
+    layers: tuple[str, ...] = ()
+    first_layers: int | None = None
+    batch: int = 1
+
+    def __post_init__(self) -> None:
+        if self.network is not None:
+            _check_str(self.network, "WorkloadSpec.network")
+        object.__setattr__(self, "layers", tuple(self.layers))
+        for entry in self.layers:
+            _check_str(entry, "WorkloadSpec.layers entries")
+        _require(
+            not (self.network and self.layers),
+            "WorkloadSpec cannot name both a network and explicit layers",
+        )
+        if self.first_layers is not None:
+            _check_int(self.first_layers, "WorkloadSpec.first_layers", minimum=1)
+        _check_int(self.batch, "WorkloadSpec.batch", minimum=1)
+
+    @property
+    def is_empty(self) -> bool:
+        """True when neither a network nor explicit layers were named."""
+        return self.network is None and not self.layers
+
+    def to_dict(self) -> dict:
+        return {
+            "network": self.network,
+            "layers": list(self.layers),
+            "first_layers": self.first_layers,
+            "batch": self.batch,
+        }
+
+    @classmethod
+    def from_dict(cls, data) -> "WorkloadSpec":
+        if isinstance(data, str):  # shorthand: "workload": "resnet50"
+            return cls(network=data)
+        _require_keys(data, ("network", "layers", "first_layers", "batch"), "WorkloadSpec")
+        layers = data.get("layers") or ()
+        if isinstance(layers, str):
+            layers = (layers,)
+        _require(
+            isinstance(layers, (list, tuple)),
+            f"WorkloadSpec.layers must be a list of layer strings, got {layers!r}",
+        )
+        return cls(
+            network=data.get("network"),
+            layers=tuple(layers),
+            first_layers=data.get("first_layers"),
+            batch=data.get("batch", 1),
+        )
+
+
+@dataclass(frozen=True)
+class SchedulerSpec:
+    """The scheduler axis: a registry name plus factory keyword options."""
+
+    name: str = "cosa"
+    options: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        _check_str(self.name, "SchedulerSpec.name")
+        _require(
+            isinstance(self.options, dict),
+            f"SchedulerSpec.options must be an object, got {self.options!r}",
+        )
+
+    def to_dict(self) -> dict:
+        return {"name": self.name, "options": dict(self.options)}
+
+    @classmethod
+    def from_dict(cls, data) -> "SchedulerSpec":
+        if isinstance(data, str):  # shorthand: "scheduler": "hybrid"
+            return cls(name=data)
+        _require_keys(data, ("name", "options"), "SchedulerSpec")
+        return cls(name=data.get("name", "cosa"), options=dict(data.get("options") or {}))
+
+
+@dataclass(frozen=True)
+class PlatformSpec:
+    """The evaluation-platform axis: a registry name and the report metric."""
+
+    name: str = "timeloop"
+    metric: str = "latency"
+
+    def __post_init__(self) -> None:
+        _check_str(self.name, "PlatformSpec.name")
+        _require(
+            self.metric in METRICS,
+            f"PlatformSpec.metric must be one of {METRICS}, got {self.metric!r}",
+        )
+
+    def to_dict(self) -> dict:
+        return {"name": self.name, "metric": self.metric}
+
+    @classmethod
+    def from_dict(cls, data) -> "PlatformSpec":
+        if isinstance(data, str):  # shorthand: "platform": "noc"
+            return cls(name=data)
+        _require_keys(data, ("name", "metric"), "PlatformSpec")
+        return cls(name=data.get("name", "timeloop"), metric=data.get("metric", "latency"))
+
+
+@dataclass(frozen=True)
+class EngineSpec:
+    """Engine knobs: parallelism, mapping cache, batching and time budget."""
+
+    jobs: int = 1
+    cache: str | None = None
+    batch_size: int = 64
+    time_budget: float | None = None
+    executor: str = "thread"
+
+    def __post_init__(self) -> None:
+        _check_int(self.jobs, "EngineSpec.jobs", minimum=1)
+        if self.cache is not None:
+            _check_str(self.cache, "EngineSpec.cache")
+        _check_int(self.batch_size, "EngineSpec.batch_size", minimum=1)
+        if self.time_budget is not None:
+            _require(
+                isinstance(self.time_budget, (int, float)) and self.time_budget >= 0,
+                f"EngineSpec.time_budget must be a non-negative number, got {self.time_budget!r}",
+            )
+        _require(
+            self.executor in EXECUTORS,
+            f"EngineSpec.executor must be one of {EXECUTORS}, got {self.executor!r}",
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "jobs": self.jobs,
+            "cache": self.cache,
+            "batch_size": self.batch_size,
+            "time_budget": self.time_budget,
+            "executor": self.executor,
+        }
+
+    @classmethod
+    def from_dict(cls, data) -> "EngineSpec":
+        _require_keys(
+            data, ("jobs", "cache", "batch_size", "time_budget", "executor"), "EngineSpec"
+        )
+        return cls(
+            jobs=data.get("jobs", 1),
+            cache=data.get("cache"),
+            batch_size=data.get("batch_size", 64),
+            time_budget=data.get("time_budget"),
+            executor=data.get("executor", "thread"),
+        )
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """One complete, declarative experiment description.
+
+    Attributes
+    ----------
+    kind:
+        ``"schedule"`` runs one scheduler over the workload's layers and
+        reports per-layer outcomes; ``"compare"`` runs the paper's
+        Random / Timeloop-Hybrid / CoSA triple and reports speedups;
+        ``"suite"`` runs one scheduler over whole workloads (all registered
+        workloads when the workload spec is empty).
+    arch / workload / scheduler / platform / engine:
+        The axis specs.  ``scheduler`` is filled with the default
+        (``cosa``) for ``schedule``/``suite`` runs and must be omitted for
+        ``compare`` runs (the triple is fixed by construction).
+    seed:
+        Base seed for the search baselines.
+    options:
+        Kind-specific extras (e.g. the compare triple's budget knobs
+        ``hybrid_threads`` / ``hybrid_termination`` /
+        ``hybrid_max_evaluations`` / ``random_valid``).
+    """
+
+    kind: str
+    arch: ArchSpec = field(default_factory=ArchSpec)
+    workload: WorkloadSpec = field(default_factory=WorkloadSpec)
+    scheduler: SchedulerSpec | None = None
+    platform: PlatformSpec = field(default_factory=PlatformSpec)
+    engine: EngineSpec = field(default_factory=EngineSpec)
+    seed: int = 0
+    options: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        _require(
+            self.kind in RUN_KINDS,
+            f"RunSpec.kind must be one of {RUN_KINDS}, got {self.kind!r}",
+        )
+        _check_int(self.seed, "RunSpec.seed")
+        _require(
+            isinstance(self.options, dict),
+            f"RunSpec.options must be an object, got {self.options!r}",
+        )
+        if self.kind == "compare":
+            _require(
+                self.scheduler is None,
+                "RunSpec(kind='compare') runs the fixed Random/Hybrid/CoSA triple; "
+                "per-scheduler selection belongs to kind='schedule' or kind='suite'",
+            )
+        elif self.scheduler is None:
+            object.__setattr__(self, "scheduler", SchedulerSpec())
+        if self.kind in ("schedule", "compare"):
+            _require(
+                not self.workload.is_empty,
+                f"RunSpec(kind={self.kind!r}) needs a workload: name a registered "
+                "network or give explicit layer strings",
+            )
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": self.kind,
+            "arch": self.arch.to_dict(),
+            "workload": self.workload.to_dict(),
+            "scheduler": None if self.scheduler is None else self.scheduler.to_dict(),
+            "platform": self.platform.to_dict(),
+            "engine": self.engine.to_dict(),
+            "seed": self.seed,
+            "options": dict(self.options),
+        }
+
+    @classmethod
+    def from_dict(cls, data) -> "RunSpec":
+        allowed = (
+            "kind", "arch", "workload", "scheduler", "platform", "engine", "seed", "options"
+        )
+        _require_keys(data, allowed, "RunSpec")
+        _require("kind" in data, f"RunSpec requires 'kind' (one of {RUN_KINDS})")
+        scheduler = data.get("scheduler")
+        return cls(
+            kind=data["kind"],
+            arch=ArchSpec.from_dict(data.get("arch", {})),
+            workload=WorkloadSpec.from_dict(data.get("workload", {})),
+            scheduler=None if scheduler is None else SchedulerSpec.from_dict(scheduler),
+            platform=PlatformSpec.from_dict(data.get("platform", {})),
+            engine=EngineSpec.from_dict(data.get("engine", {})),
+            seed=data.get("seed", 0),
+            options=dict(data.get("options") or {}),
+        )

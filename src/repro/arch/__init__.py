@@ -19,6 +19,7 @@ from repro.arch.presets import (
     pe_array_8x8,
     large_buffers,
     k80_like_gpu,
+    gpu_k80,
     architecture_presets,
 )
 
@@ -35,5 +36,6 @@ __all__ = [
     "pe_array_8x8",
     "large_buffers",
     "k80_like_gpu",
+    "gpu_k80",
     "architecture_presets",
 ]

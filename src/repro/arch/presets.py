@@ -136,6 +136,18 @@ def k80_like_gpu() -> GPUSpec:
     return GPUSpec()
 
 
+def gpu_k80() -> Accelerator:
+    """The K80-like GPU expressed with the spatial-accelerator abstractions.
+
+    This is the architecture the ``gpu`` scheduler targets: thread blocks as
+    spatial levels, shared memory / the register file as buffers (see
+    :func:`repro.arch.gpu.gpu_as_accelerator`).
+    """
+    from repro.arch.gpu import gpu_as_accelerator
+
+    return gpu_as_accelerator(k80_like_gpu())
+
+
 def architecture_presets() -> dict[str, Accelerator]:
     """All spatial-accelerator presets keyed by the name used in reports."""
     return {

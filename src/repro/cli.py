@@ -6,20 +6,25 @@ Python::
     repro schedule 3_7_512_512_1                 # CoSA, baseline arch
     repro schedule 3_7_512_512_1 --arch pe-8x8   # Fig. 9a variant
     repro schedule 3_7_512_512_1 --scheduler hybrid --platform noc
+    repro schedule 1_7_512_2048_1 --scheduler gpu --arch gpu-k80
     repro compare resnet50 --layers 4 --jobs 4   # three-scheduler comparison
     repro suite --jobs 4 --cache mappings.json   # CoSA over all four networks
+    repro run examples/specs/resnet50_compare.json --json
+    repro registry                               # what can plug in where
     repro networks                               # list evaluated workloads
 
 (``python -m repro.cli`` works identically when the package is not
-installed.)  All subcommands route their diagnostics through a single
-summary path: nothing is printed until the run is complete, so a failed run
-produces an error on stderr and exit code 1 instead of a half-written
-report.  ``compare`` and ``suite`` accept ``--json`` for machine-readable
-output, ``--jobs`` for parallel layer solves, and ``--cache FILE`` to
-persist and reuse the mapping cache across invocations.  The search
-baselines evaluate candidates in vectorized batches (``--batch-size``,
-outcome-invariant; ``--batch-size 1`` forces the scalar reference path) and
-honor a per-layer wall-clock budget (``--time-budget``).
+installed.)  Every subcommand is a thin argument translator over the
+declarative facade: it builds a :class:`~repro.api.specs.RunSpec` and hands
+it to :func:`repro.api.run`, so anything registered through the
+:mod:`repro.api.registry` plugin registries — schedulers, architectures,
+platforms, workloads — is immediately reachable from the shell.  ``--json``
+output is the stamped :class:`~repro.api.result.RunResult` envelope
+(``schema_version``, the resolved spec, and the payload), identical whether
+the run came from flags or from a spec file.  All subcommands route their
+diagnostics through a single summary path: nothing is printed until the run
+is complete, so a failed run produces an error on stderr and exit code 1
+instead of a half-written report.
 """
 
 from __future__ import annotations
@@ -28,15 +33,20 @@ import argparse
 import json
 import sys
 
-from repro.arch import architecture_presets
-from repro.baselines import RandomScheduler, TimeloopHybridScheduler, TVMLikeTuner
-from repro.core import CoSAScheduler
-from repro.engine import MappingCache, SchedulingEngine
-from repro.experiments.harness import ComparisonConfig, compare_on_network
-from repro.mapping import render_loop_nest
-from repro.mapping.serialize import save_mapping
-from repro.noc import NoCSimulator
-from repro.workloads import layer_from_name, workload_suite
+from repro import api
+from repro.api import (
+    ALL_REGISTRIES,
+    ArchSpec,
+    EngineSpec,
+    PlatformSpec,
+    RunSpec,
+    SchedulerSpec,
+    WorkloadSpec,
+    architectures,
+    platforms,
+    schedulers,
+    workloads,
+)
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -45,44 +55,53 @@ def _build_parser() -> argparse.ArgumentParser:
 
     schedule = sub.add_parser("schedule", help="schedule one layer and report its cost")
     schedule.add_argument("layer", help="layer in R_P_C_K_Stride form, e.g. 3_7_512_512_1")
-    schedule.add_argument("--arch", default="baseline-4x4", choices=sorted(architecture_presets()))
+    schedule.add_argument("--arch", default="baseline-4x4", choices=sorted(architectures.available()))
     schedule.add_argument(
-        "--scheduler", default="cosa", choices=("cosa", "random", "hybrid", "tvm"),
+        "--scheduler", default="cosa", choices=sorted(schedulers.available()),
         help="which scheduler generates the mapping",
     )
     schedule.add_argument(
-        "--platform", default="timeloop", choices=("timeloop", "noc"),
+        "--platform", default="timeloop", choices=sorted(platforms.available()),
         help="evaluation platform for the resulting schedule",
     )
     schedule.add_argument("--batch", type=int, default=1, help="batch size N")
     schedule.add_argument("--save", metavar="FILE", help="write the mapping to a JSON file")
-    schedule.add_argument("--json", action="store_true", help="machine-readable output")
-    _add_search_arguments(schedule)
+    _add_engine_arguments(schedule)
 
     compare = sub.add_parser(
         "compare", help="compare Random / Timeloop-Hybrid / CoSA on a network"
     )
-    compare.add_argument("network", choices=sorted(workload_suite()), help="workload to compare on")
-    compare.add_argument("--arch", default="baseline-4x4", choices=sorted(architecture_presets()))
+    compare.add_argument("network", choices=sorted(workloads.available()), help="workload to compare on")
+    compare.add_argument("--arch", default="baseline-4x4", choices=sorted(architectures.available()))
     compare.add_argument(
-        "--platform", default="timeloop", choices=("timeloop", "noc"),
+        "--platform", default="timeloop", choices=sorted(platforms.available()),
         help="evaluation platform for the schedules",
     )
-    compare.add_argument("--metric", default="latency", choices=("latency", "energy"))
+    compare.add_argument("--metric", default="latency", choices=("latency", "energy", "edp"))
     compare.add_argument("--layers", type=int, default=None, help="only the first N layers")
     compare.add_argument("--batch", type=int, default=1, help="batch size N")
     compare.add_argument("--seed", type=int, default=0, help="base seed for the baselines")
     _add_engine_arguments(compare)
 
     suite = sub.add_parser("suite", help="schedule every network of the evaluated suite")
-    suite.add_argument("--arch", default="baseline-4x4", choices=sorted(architecture_presets()))
+    suite.add_argument("--arch", default="baseline-4x4", choices=sorted(architectures.available()))
     suite.add_argument(
-        "--scheduler", default="cosa", choices=("cosa", "random", "hybrid", "tvm"),
+        "--scheduler", default="cosa", choices=sorted(schedulers.available()),
         help="which scheduler runs the suite",
     )
     suite.add_argument("--layers", type=int, default=None, help="only the first N layers per network")
     suite.add_argument("--batch", type=int, default=1, help="batch size N")
     _add_engine_arguments(suite)
+
+    run = sub.add_parser("run", help="execute a declarative RunSpec from a JSON file")
+    run.add_argument("spec", help="path to a spec file (see docs/api.md for the schema)")
+    run.add_argument("--json", action="store_true", help="machine-readable output")
+
+    registry = sub.add_parser("registry", help="list the plugin registries of the public API")
+    registry.add_argument(
+        "axis", nargs="?", choices=sorted(ALL_REGISTRIES),
+        help="only this axis (default: all four)",
+    )
 
     sub.add_parser("networks", help="list the evaluated DNN workloads and their layers")
     sub.add_parser("archs", help="list the available architecture presets")
@@ -103,10 +122,6 @@ def _add_engine_arguments(parser: argparse.ArgumentParser) -> None:
         help="mapping-cache file, loaded before and saved after the run",
     )
     parser.add_argument("--json", action="store_true", help="machine-readable output")
-    _add_search_arguments(parser)
-
-
-def _add_search_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--batch-size", type=_positive_int, default=64, metavar="N",
         help="vectorized evaluation batch size for the search baselines "
@@ -118,21 +133,16 @@ def _add_search_arguments(parser: argparse.ArgumentParser) -> None:
     )
 
 
-def _make_scheduler(
-    name: str,
-    accelerator,
-    seed: int = 0,
-    batch_size: int | None = None,
-    time_budget: float | None = None,
-):
-    if name == "cosa":
-        return CoSAScheduler(accelerator)
-    search = dict(seed=seed, eval_batch_size=batch_size, time_budget_seconds=time_budget)
-    if name == "random":
-        return RandomScheduler(accelerator, **search)
-    if name == "hybrid":
-        return TimeloopHybridScheduler(accelerator, **search)
-    return TVMLikeTuner(accelerator, **search)
+def _engine_spec(args) -> EngineSpec:
+    return EngineSpec(
+        jobs=args.jobs,
+        cache=args.cache,
+        batch_size=args.batch_size,
+        time_budget=args.time_budget,
+    )
+
+
+# ------------------------------------------------------------- text rendering
 
 
 def _solve_description(outcome) -> str:
@@ -142,119 +152,81 @@ def _solve_description(outcome) -> str:
     detail = outcome.detail
     if outcome.scheduler == "cosa":
         return f"CoSA solve: {detail.solution.status.value} in {outcome.solve_time_seconds:.1f}s"
+    if outcome.scheduler == "cosa-gpu":
+        return (
+            f"CoSA-GPU solve: {detail.result.solution.status.value} in "
+            f"{outcome.solve_time_seconds:.1f}s "
+            f"({detail.threads_per_block} threads/block, {detail.blocks} blocks)"
+        )
     if outcome.scheduler == "random":
         return f"Random search: {outcome.num_sampled} samples, {outcome.num_evaluated} valid"
     if outcome.scheduler == "timeloop-hybrid":
         return f"Hybrid search: {outcome.num_evaluated} valid mappings evaluated"
-    return f"TVM-like tuner: {outcome.num_sampled} samples, {outcome.num_evaluated} valid"
+    if outcome.scheduler == "tvm-like":
+        return f"TVM-like tuner: {outcome.num_sampled} samples, {outcome.num_evaluated} valid"
+    return f"{outcome.scheduler}: solved in {outcome.solve_time_seconds:.1f}s"
 
 
-def _schedule(args) -> int:
-    accelerator = architecture_presets()[args.arch]
-    layer = layer_from_name(args.layer, batch=args.batch)
-    scheduler = _make_scheduler(
-        args.scheduler, accelerator, batch_size=args.batch_size, time_budget=args.time_budget
-    )
-    # The text path evaluates the cost model itself (it needs the latency
-    # breakdown); only the --json path consumes the engine's metrics dict.
-    engine = SchedulingEngine(scheduler, evaluate_metrics=args.json)
-    outcome = engine.schedule_layer(layer)
+def _render_schedule(result, as_json: bool, save: str | None = None) -> int:
+    network = result.artifacts["network"]
+    accelerator = result.artifacts["accelerator"]
 
-    # Single summary path: gather every line first, print only on success.
-    if not outcome.succeeded:
-        if args.json:
-            print(json.dumps(outcome.to_dict(), indent=2))
-        else:
-            print(
-                f"{_solve_description(outcome)}\nno valid schedule found for {args.layer}",
-                file=sys.stderr,
-            )
-        return 1
+    if save and result.data["succeeded"]:
+        from repro.mapping.serialize import save_mapping
 
-    noc_result = None
-    if args.platform == "noc":
-        noc_result = NoCSimulator(accelerator).simulate(outcome.mapping)
+        path = save_mapping(network.outcomes[0].mapping, save)
+        result.data["saved_to"] = str(path)
 
-    if args.json:
-        data = outcome.to_dict()
-        data["loop_nest"] = render_loop_nest(
-            outcome.mapping, level_names=list(accelerator.hierarchy.names)
+    if as_json:
+        print(result.to_json())
+        return 0 if result.data["succeeded"] else 1
+
+    if not result.data["succeeded"]:
+        failed = next(o for o in network.outcomes if not o.succeeded)
+        print(
+            f"{_solve_description(failed)}\n"
+            f"no valid schedule found for {failed.layer.name or failed.layer.canonical_name}",
+            file=sys.stderr,
         )
-        if noc_result is not None:
-            data["noc_latency"] = noc_result.latency
-        if args.save:
-            data["saved_to"] = str(save_mapping(outcome.mapping, args.save))
-        print(json.dumps(data, indent=2))
-        return 0
+        return 1
 
     from repro.model import CostModel
 
-    cost = CostModel(accelerator).evaluate(outcome.mapping)
-    lines = [_solve_description(outcome), ""]
-    lines.append(render_loop_nest(outcome.mapping, level_names=list(accelerator.hierarchy.names)))
-    lines.append("")
-    lines.append(
-        f"analytical latency: {cost.latency / 1e6:.3f} MCycles "
-        f"(bound by {cost.latency_breakdown.bound_by})"
-    )
-    lines.append(f"analytical energy : {cost.energy / 1e6:.3f} uJ")
-    if noc_result is not None:
+    cost_model = CostModel(accelerator)
+    lines = []
+    for outcome, entry in zip(network.outcomes, result.data["outcomes"]):
+        cost = cost_model.evaluate(outcome.mapping)
+        lines.append(_solve_description(outcome))
+        lines.append("")
+        lines.append(entry["loop_nest"])
+        lines.append("")
         lines.append(
-            f"NoC-simulated latency: {noc_result.latency / 1e6:.3f} MCycles "
-            f"(bound by {noc_result.bound_by})"
+            f"analytical latency: {cost.latency / 1e6:.3f} MCycles "
+            f"(bound by {cost.latency_breakdown.bound_by})"
         )
-    if args.save:
-        path = save_mapping(outcome.mapping, args.save)
-        lines.append(f"mapping written to {path}")
+        lines.append(f"analytical energy : {cost.energy / 1e6:.3f} uJ")
+        if result.spec.platform.name == "noc":
+            from repro.noc import NoCSimulator
+
+            noc_result = NoCSimulator(accelerator).simulate(outcome.mapping)
+            lines.append(
+                f"NoC-simulated latency: {noc_result.latency / 1e6:.3f} MCycles "
+                f"(bound by {noc_result.bound_by})"
+            )
+    if "saved_to" in result.data:
+        lines.append(f"mapping written to {result.data['saved_to']}")
     print("\n".join(lines))
     return 0
 
 
-def _compare(args) -> int:
-    accelerator = architecture_presets()[args.arch]
-    layers = workload_suite(batch=args.batch)[args.network]
-    if args.layers is not None:
-        layers = layers[: args.layers]
-    config = ComparisonConfig(
-        accelerator=accelerator,
-        platform=args.platform,
-        metric=args.metric,
-        seed=args.seed,
-        eval_batch_size=args.batch_size,
-        time_budget_seconds=args.time_budget,
-    )
-    cache = MappingCache(path=args.cache) if args.cache else None
-    summary = compare_on_network(args.network, layers, config, jobs=args.jobs, cache=cache)
-    if cache is not None:
-        cache.save()
-
-    if args.json:
-        data = {
-            "label": summary.label,
-            "platform": args.platform,
-            "metric": args.metric,
-            "comparisons": [
-                {
-                    "layer": c.layer,
-                    "random_value": c.random_value,
-                    "hybrid_value": c.hybrid_value,
-                    "cosa_value": c.cosa_value,
-                    "hybrid_speedup": c.hybrid_speedup,
-                    "cosa_speedup": c.cosa_speedup,
-                    "random_time": c.random_time,
-                    "hybrid_time": c.hybrid_time,
-                    "cosa_time": c.cosa_time,
-                }
-                for c in summary.comparisons
-            ],
-            "hybrid_geomean": summary.hybrid_geomean,
-            "cosa_geomean": summary.cosa_geomean,
-            "engine_stats": {name: s.to_dict() for name, s in summary.engine_stats.items()},
-        }
-        print(json.dumps(data, indent=2))
+def _render_compare(result, as_json: bool) -> int:
+    if as_json:
+        print(result.to_json())
         return 0
 
-    lines = [f"[{summary.label}] {args.platform}/{args.metric} speedups over Random"]
+    summary = result.artifacts["summary"]
+    platform, metric = result.spec.platform.name, result.spec.platform.metric
+    lines = [f"[{summary.label}] {platform}/{metric} speedups over Random"]
     for c in summary.comparisons:
         lines.append(
             f"  {c.layer:<20} hybrid {c.hybrid_speedup:6.2f}x   cosa {c.cosa_speedup:6.2f}x"
@@ -273,48 +245,119 @@ def _compare(args) -> int:
     return 0
 
 
-def _suite(args) -> int:
-    accelerator = architecture_presets()[args.arch]
-    scheduler = _make_scheduler(
-        args.scheduler, accelerator, batch_size=args.batch_size, time_budget=args.time_budget
-    )
-    cache = MappingCache(path=args.cache) if args.cache else None
-    engine = SchedulingEngine(scheduler, cache=cache)
+def _render_suite(result, as_json: bool) -> int:
+    if as_json:
+        print(result.to_json())
+        return 0 if result.data["succeeded"] else 1
 
-    suite = workload_suite(batch=args.batch)
-    if args.layers is not None:
-        suite = {name: layers[: args.layers] for name, layers in suite.items()}
-    result = engine.schedule_suite(suite, jobs=args.jobs)
-    if cache is not None:
-        cache.save()
-
-    if args.json:
-        print(json.dumps(result.to_dict(), indent=2))
-        return 0 if all(n.num_succeeded == len(n.outcomes) for n in result.networks.values()) else 1
-
-    lines = [f"{scheduler.name} on {len(result.networks)} networks ({args.arch})"]
-    for name, network in result.networks.items():
+    suite = result.artifacts["suite"]
+    scheduler = result.artifacts["scheduler"]
+    lines = [
+        f"{scheduler.name} on {len(suite.networks)} networks ({result.spec.arch.preset})"
+    ]
+    for name, network in suite.networks.items():
         stats = network.stats
         lines.append(
             f"  {name:<12} {network.num_succeeded}/{len(network.outcomes)} scheduled"
             f"  solves={stats.solves} cache_hits={stats.cache_hits}"
             f" dedup_reuses={stats.dedup_reuses} wall={stats.wall_time_seconds:.1f}s"
         )
-    total = result.stats
+    total = suite.stats
     lines.append(
         f"  total        layers={total.num_layers} solves={total.solves}"
         f" cache_hits={total.cache_hits} cache_misses={total.cache_misses}"
         f" wall={total.wall_time_seconds:.1f}s"
     )
     print("\n".join(lines))
-    failed = sum(len(n.outcomes) - n.num_succeeded for n in result.networks.values())
+    failed = sum(len(n.outcomes) - n.num_succeeded for n in suite.networks.values())
     if failed:
         print(f"{failed} layers produced no valid schedule", file=sys.stderr)
         return 1
     return 0
 
 
+def _render_result(result, as_json: bool, save: str | None = None) -> int:
+    if result.kind == "schedule":
+        return _render_schedule(result, as_json, save=save)
+    if result.kind == "compare":
+        return _render_compare(result, as_json)
+    return _render_suite(result, as_json)
+
+
+def _execute(spec: RunSpec, as_json: bool, save: str | None = None) -> int:
+    """Run a spec and render it, turning spec/registry errors into exit 1."""
+    try:
+        result = api.run(spec)
+    except (ValueError, api.UnknownNameError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    return _render_result(result, as_json, save=save)
+
+
+# ----------------------------------------------------------------- subcommands
+
+
+def _schedule(args) -> int:
+    spec = RunSpec(
+        kind="schedule",
+        arch=ArchSpec(args.arch),
+        workload=WorkloadSpec(layers=(args.layer,), batch=args.batch),
+        scheduler=SchedulerSpec(args.scheduler),
+        platform=PlatformSpec(args.platform),
+        engine=_engine_spec(args),
+    )
+    return _execute(spec, args.json, save=args.save)
+
+
+def _compare(args) -> int:
+    spec = RunSpec(
+        kind="compare",
+        arch=ArchSpec(args.arch),
+        workload=WorkloadSpec(network=args.network, first_layers=args.layers, batch=args.batch),
+        platform=PlatformSpec(args.platform, args.metric),
+        engine=_engine_spec(args),
+        seed=args.seed,
+    )
+    return _execute(spec, args.json)
+
+
+def _suite(args) -> int:
+    spec = RunSpec(
+        kind="suite",
+        arch=ArchSpec(args.arch),
+        workload=WorkloadSpec(first_layers=args.layers, batch=args.batch),
+        scheduler=SchedulerSpec(args.scheduler),
+        engine=_engine_spec(args),
+    )
+    return _execute(spec, args.json)
+
+
+def _run_spec_file(args) -> int:
+    try:
+        spec = api.load_spec(args.spec)
+    except FileNotFoundError:
+        print(f"error: spec file {args.spec} does not exist", file=sys.stderr)
+        return 1
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    return _execute(spec, args.json)
+
+
+def _registry(args) -> int:
+    for axis, registry in ALL_REGISTRIES.items():
+        if args.axis is not None and axis != args.axis:
+            continue
+        print(f"{axis}:")
+        descriptions = registry.describe()
+        for name in registry.available():
+            print(f"  {name:<16} {descriptions[name]}")
+    return 0
+
+
 def _networks() -> int:
+    from repro.workloads import workload_suite
+
     for name, layers in workload_suite().items():
         print(f"{name} ({len(layers)} layers)")
         for layer in layers:
@@ -323,9 +366,9 @@ def _networks() -> int:
 
 
 def _archs() -> int:
-    for name, accelerator in architecture_presets().items():
+    for name in architectures.available():
         print(f"[{name}]")
-        print(accelerator.describe())
+        print(architectures.create(name).describe())
         print()
     return 0
 
@@ -339,6 +382,10 @@ def main(argv=None) -> int:
         return _compare(args)
     if args.command == "suite":
         return _suite(args)
+    if args.command == "run":
+        return _run_spec_file(args)
+    if args.command == "registry":
+        return _registry(args)
     if args.command == "networks":
         return _networks()
     return _archs()

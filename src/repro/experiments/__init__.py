@@ -19,7 +19,7 @@ Fig. 11  :func:`~repro.experiments.figures.fig11_gpu_comparison`
 =======  ==========================================================
 """
 
-from repro.experiments.harness import (
+from repro.api.comparison import (
     ComparisonConfig,
     LayerComparison,
     SpeedupSummary,

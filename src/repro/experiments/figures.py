@@ -17,7 +17,7 @@ from repro.arch.gpu import gpu_as_accelerator
 from repro.baselines import TVMLikeTuner
 from repro.core.gpu import CoSAGPUScheduler
 from repro.core.objectives import ObjectiveWeights, mapping_objective_breakdown
-from repro.experiments.harness import (
+from repro.api.comparison import (
     ComparisonConfig,
     SpeedupSummary,
     build_schedulers,

@@ -1,264 +1,63 @@
-"""Shared harness: run the three schedulers on layers and compare them.
+"""Deprecated location of the scheduler-comparison pipeline.
 
-Every speedup figure of the paper (Figs. 6, 7, 9, 10) has the same shape:
-for each layer, generate a schedule with Random search, the Timeloop-Hybrid
-mapper and CoSA, evaluate all three on one evaluation platform (the
-analytical "Timeloop" model or the NoC simulator) and report per-layer and
-geometric-mean speedups relative to Random.  This module implements that
-pipeline once, as a thin wrapper over the
-:class:`~repro.engine.engine.SchedulingEngine`: one engine per scheduler
-drives the layers (optionally in parallel and against a shared mapping
-cache), and the harness only evaluates the resulting mappings on the chosen
-platform and shapes the comparison rows.
+The pipeline moved to :mod:`repro.api.comparison` as part of the declarative
+``repro.api`` facade (spec objects, plugin registries, one versioned
+``run()`` entry point).  This module remains as a thin compatibility shim:
+the classes re-export unchanged, and the ``compare_on_*`` functions keep
+their old signatures but emit a :class:`DeprecationWarning` pointing at the
+new home.  Prefer::
+
+    from repro.api import RunSpec, run
+    result = run(RunSpec.from_dict({"kind": "compare", "workload": "resnet50"}))
+
+or, when injecting live objects (custom scheduler triples, bespoke
+evaluators)::
+
+    from repro.api import ComparisonConfig, compare_on_network
 """
 
 from __future__ import annotations
 
-import math
-from dataclasses import dataclass, field
-from typing import Callable, Iterable
+import warnings
 
-from repro.arch.accelerator import Accelerator
-from repro.baselines import RandomScheduler, TimeloopHybridScheduler
-from repro.core.objectives import ObjectiveWeights
-from repro.core.scheduler import CoSAScheduler
-from repro.engine import EngineStats, MappingCache, SchedulingEngine
-from repro.mapping.mapping import Mapping
-from repro.model.cost import CostModel
-from repro.noc.simulator import NoCSimulator
-from repro.workloads.layer import Layer
+from repro.api.comparison import (  # noqa: F401  (compatibility re-exports)
+    ComparisonConfig,
+    LayerComparison,
+    SpeedupSummary,
+    _Evaluator,
+    build_schedulers,
+    geometric_mean,
+)
+from repro.api.comparison import compare_on_layer as _compare_on_layer
+from repro.api.comparison import compare_on_network as _compare_on_network
 
-
-def geometric_mean(values: Iterable[float]) -> float:
-    """Geometric mean of positive values (0 for an empty input)."""
-    values = [v for v in values if v > 0 and math.isfinite(v)]
-    if not values:
-        return 0.0
-    return math.exp(sum(math.log(v) for v in values) / len(values))
-
-
-@dataclass
-class ComparisonConfig:
-    """Configuration of a scheduler comparison run.
-
-    Attributes
-    ----------
-    accelerator:
-        Target architecture.
-    platform:
-        ``"timeloop"`` evaluates latency/energy with the analytical model;
-        ``"noc"`` evaluates latency with the NoC simulator.
-    metric:
-        Search metric for the baselines (``latency`` or ``energy``).
-    cosa_weights:
-        Objective weights handed to CoSA (``None`` = calibrated defaults).
-    hybrid_threads / hybrid_termination / hybrid_max_evaluations:
-        Budget of the Timeloop-Hybrid mapper (scaled-down defaults; see
-        :meth:`~repro.baselines.timeloop_hybrid.TimeloopHybridScheduler.paper_settings`).
-    random_valid:
-        Valid samples collected by the Random baseline (5 in the paper).
-    seed:
-        Base random seed shared by the baselines.
-    eval_batch_size:
-        Vectorized evaluation batch size for the search baselines (outcome
-        invariant — see :mod:`repro.model.batch`; ``None``/1 forces the
-        scalar reference path).
-    time_budget_seconds:
-        Optional per-layer wall-clock budget for the search baselines, so
-        time-to-solution comparisons are apples-to-apples.
-    """
-
-    accelerator: Accelerator
-    platform: str = "timeloop"
-    metric: str = "latency"
-    cosa_weights: ObjectiveWeights | None = None
-    hybrid_threads: int = 2
-    hybrid_termination: int = 64
-    hybrid_max_evaluations: int = 800
-    random_valid: int = 5
-    seed: int = 0
-    eval_batch_size: int | None = 64
-    time_budget_seconds: float | None = None
-
-    def __post_init__(self) -> None:
-        if self.platform not in ("timeloop", "noc"):
-            raise ValueError(f"unknown platform {self.platform!r}")
+__all__ = [
+    "ComparisonConfig",
+    "LayerComparison",
+    "SpeedupSummary",
+    "build_schedulers",
+    "compare_on_layer",
+    "compare_on_network",
+    "geometric_mean",
+]
 
 
-@dataclass
-class LayerComparison:
-    """Per-layer result of one comparison run (one bar group of Fig. 6/10)."""
-
-    layer: str
-    random_value: float
-    hybrid_value: float
-    cosa_value: float
-    random_time: float = 0.0
-    hybrid_time: float = 0.0
-    cosa_time: float = 0.0
-    random_samples: int = 0
-    hybrid_samples: int = 0
-    hybrid_evaluations: int = 0
-
-    @property
-    def hybrid_speedup(self) -> float:
-        """Timeloop-Hybrid improvement over Random (the paper's middle bars)."""
-        if self.hybrid_value <= 0:
-            return 0.0
-        return self.random_value / self.hybrid_value
-
-    @property
-    def cosa_speedup(self) -> float:
-        """CoSA improvement over Random (the paper's right bars)."""
-        if self.cosa_value <= 0:
-            return 0.0
-        return self.random_value / self.cosa_value
-
-
-@dataclass
-class SpeedupSummary:
-    """Geometric-mean summary of a set of :class:`LayerComparison` rows.
-
-    ``engine_stats`` carries per-scheduler effort counters (solves, cache
-    hits/misses, de-duplication reuses) of the engines that produced the
-    comparison, keyed by scheduler name.
-    """
-
-    label: str
-    comparisons: list[LayerComparison] = field(default_factory=list)
-    engine_stats: dict[str, EngineStats] = field(default_factory=dict)
-
-    @property
-    def hybrid_geomean(self) -> float:
-        return geometric_mean(c.hybrid_speedup for c in self.comparisons)
-
-    @property
-    def cosa_geomean(self) -> float:
-        return geometric_mean(c.cosa_speedup for c in self.comparisons)
-
-    @property
-    def cosa_vs_hybrid(self) -> float:
-        """CoSA speedup relative to Timeloop-Hybrid."""
-        if self.hybrid_geomean <= 0:
-            return 0.0
-        return self.cosa_geomean / self.hybrid_geomean
-
-
-class _Evaluator:
-    """Evaluates mappings on the configured platform and metric."""
-
-    def __init__(self, config: ComparisonConfig):
-        self.config = config
-        self._cost_model = CostModel(config.accelerator)
-        self._noc = NoCSimulator(config.accelerator) if config.platform == "noc" else None
-
-    def __call__(self, mapping: Mapping | None) -> float:
-        if mapping is None:
-            return float("inf")
-        cost = self._cost_model.evaluate(mapping)
-        if not cost.valid:
-            return float("inf")
-        if self.config.platform == "noc":
-            return self._noc.simulate(mapping).latency
-        return cost.energy if self.config.metric == "energy" else cost.latency
-
-
-def build_schedulers(config: ComparisonConfig):
-    """Instantiate the Random, Timeloop-Hybrid and CoSA schedulers of a run."""
-    random_scheduler = RandomScheduler(
-        config.accelerator,
-        num_valid=config.random_valid,
-        metric=config.metric,
-        seed=config.seed,
-        eval_batch_size=config.eval_batch_size,
-        time_budget_seconds=config.time_budget_seconds,
+def _warn(name: str) -> None:
+    warnings.warn(
+        f"repro.experiments.harness.{name} is deprecated; use repro.api.{name} "
+        "or repro.api.run(RunSpec(kind='compare', ...))",
+        DeprecationWarning,
+        stacklevel=3,
     )
-    hybrid_scheduler = TimeloopHybridScheduler(
-        config.accelerator,
-        num_threads=config.hybrid_threads,
-        termination_condition=config.hybrid_termination,
-        max_evaluations=config.hybrid_max_evaluations,
-        metric=config.metric,
-        seed=config.seed,
-        eval_batch_size=config.eval_batch_size,
-        time_budget_seconds=config.time_budget_seconds,
-    )
-    cosa_scheduler = CoSAScheduler(config.accelerator, weights=config.cosa_weights)
-    return random_scheduler, hybrid_scheduler, cosa_scheduler
 
 
-def compare_on_layer(
-    layer: Layer,
-    config: ComparisonConfig,
-    schedulers=None,
-    evaluator: Callable[[Mapping | None], float] | None = None,
-) -> LayerComparison:
-    """Run all three schedulers on ``layer`` and evaluate them on the platform."""
-    summary = compare_on_network(
-        layer.name or layer.canonical_name,
-        [layer],
-        config,
-        schedulers=schedulers,
-        evaluator=evaluator,
-    )
-    return summary.comparisons[0]
+def compare_on_layer(*args, **kwargs):
+    """Deprecated alias of :func:`repro.api.comparison.compare_on_layer`."""
+    _warn("compare_on_layer")
+    return _compare_on_layer(*args, **kwargs)
 
 
-def compare_on_network(
-    label: str,
-    layers: Iterable[Layer],
-    config: ComparisonConfig,
-    schedulers=None,
-    evaluator: Callable[[Mapping | None], float] | None = None,
-    jobs: int = 1,
-    cache: MappingCache | None = None,
-) -> SpeedupSummary:
-    """Run the comparison over every layer of a network.
-
-    Parameters
-    ----------
-    jobs:
-        Concurrent solves per scheduler (layers are independent; see
-        :meth:`~repro.engine.engine.SchedulingEngine.schedule_network`).
-    cache:
-        Optional shared :class:`~repro.engine.cache.MappingCache`; the cache
-        key includes the scheduler identity, so one cache serves all three
-        schedulers at once.
-    """
-    layers = list(layers)
-    scheduler_triple = schedulers or build_schedulers(config)
-    evaluate = evaluator or _Evaluator(config)
-
-    # Positional, not name-keyed: caller-supplied triples may repeat a
-    # scheduler kind (e.g. two differently-seeded Random instances).
-    summary = SpeedupSummary(label=label)
-    networks = []
-    for scheduler in scheduler_triple:
-        engine = SchedulingEngine(scheduler, cache=cache, evaluate_metrics=False)
-        network = engine.schedule_network(layers, jobs=jobs, label=label)
-        networks.append(network)
-        stats_key = scheduler.name
-        while stats_key in summary.engine_stats:
-            stats_key += "+"
-        summary.engine_stats[stats_key] = network.stats
-
-    random_net, hybrid_net, cosa_net = networks
-    for index, layer in enumerate(layers):
-        random_outcome = random_net.outcomes[index]
-        hybrid_outcome = hybrid_net.outcomes[index]
-        cosa_outcome = cosa_net.outcomes[index]
-        summary.comparisons.append(
-            LayerComparison(
-                layer=layer.name or layer.canonical_name,
-                random_value=evaluate(random_outcome.mapping),
-                hybrid_value=evaluate(hybrid_outcome.mapping),
-                cosa_value=evaluate(cosa_outcome.mapping),
-                random_time=random_outcome.solve_time_seconds,
-                hybrid_time=hybrid_outcome.solve_time_seconds,
-                cosa_time=cosa_outcome.solve_time_seconds,
-                random_samples=random_outcome.num_sampled,
-                hybrid_samples=hybrid_outcome.num_sampled,
-                hybrid_evaluations=hybrid_outcome.num_evaluated,
-            )
-        )
-    return summary
+def compare_on_network(*args, **kwargs):
+    """Deprecated alias of :func:`repro.api.comparison.compare_on_network`."""
+    _warn("compare_on_network")
+    return _compare_on_network(*args, **kwargs)

@@ -5,7 +5,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.arch import Accelerator, simba_like
-from repro.experiments.harness import ComparisonConfig, compare_on_layer, build_schedulers
+from repro.api.comparison import ComparisonConfig, build_schedulers, compare_on_layer
 from repro.workloads.networks import workload_suite
 
 

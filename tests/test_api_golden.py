@@ -1,0 +1,169 @@
+"""Schema stability tests for the public API and the CLI facade.
+
+* Golden-file tests pin the exact shape of the ``schema_version``-stamped
+  :class:`~repro.api.result.RunResult` envelope for ``compare`` and
+  ``schedule`` runs: every float is normalised to ``0.0`` (wall times and
+  platform values vary run-to-run), everything else — key names, nesting,
+  integer counters, strings, the resolved spec echo — must match
+  ``tests/golden/*.v1.json`` bit for bit.  Any schema drift therefore fails
+  CI; an *intentional* change bumps ``SCHEMA_VERSION`` and regenerates the
+  goldens (run this file with ``REGEN_GOLDEN=1``).
+* The CLI parity test asserts the acceptance criterion of the facade:
+  ``repro run spec.json --json`` output is bit-identical to the equivalent
+  legacy ``repro compare`` invocation (modulo wall-clock fields).
+* The GPU smoke test covers the pairing that used to be dead from the
+  shell: ``repro schedule --scheduler gpu --arch gpu-k80``.
+"""
+
+import json
+import os
+from pathlib import Path
+
+from repro.api import RunSpec, run
+from repro.cli import main as cli_main
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+
+#: Cheap, fully deterministic compare run (seeded baselines, small layer).
+COMPARE_SPEC = {
+    "kind": "compare",
+    "workload": {"layers": ["3_4_8_16_1"]},
+    "options": {
+        "random_valid": 2,
+        "hybrid_threads": 1,
+        "hybrid_termination": 8,
+        "hybrid_max_evaluations": 40,
+    },
+}
+
+#: Cheap, fully deterministic schedule run.
+SCHEDULE_SPEC = {
+    "kind": "schedule",
+    "workload": {"layers": ["3_4_8_16_1"]},
+    "scheduler": {"name": "random", "options": {"num_valid": 2, "max_attempts": 500}},
+}
+
+
+def normalize(obj):
+    """Zero every float, keeping keys, nesting, ints and strings intact."""
+    if isinstance(obj, dict):
+        return {key: normalize(value) for key, value in obj.items()}
+    if isinstance(obj, list):
+        return [normalize(value) for value in obj]
+    if isinstance(obj, float):
+        return 0.0
+    return obj
+
+
+def normalize_times(obj):
+    """Zero only wall-clock float fields (for value-level parity checks)."""
+    if isinstance(obj, dict):
+        return {
+            key: 0.0 if "time" in key and isinstance(value, float) else normalize_times(value)
+            for key, value in obj.items()
+        }
+    if isinstance(obj, list):
+        return [normalize_times(value) for value in obj]
+    return obj
+
+
+def _check_against_golden(spec_dict: dict, golden_name: str) -> None:
+    result = run(RunSpec.from_dict(spec_dict))
+    observed = normalize(result.to_dict())
+    golden_path = GOLDEN_DIR / golden_name
+    if os.environ.get("REGEN_GOLDEN"):
+        golden_path.write_text(json.dumps(observed, indent=2) + "\n")
+    golden = json.loads(golden_path.read_text())
+    assert observed == golden, (
+        f"RunResult schema drifted from {golden_name}; if intentional, bump "
+        "SCHEMA_VERSION and regenerate with REGEN_GOLDEN=1"
+    )
+
+
+class TestGoldenSchemas:
+    def test_compare_envelope_matches_golden(self):
+        _check_against_golden(COMPARE_SPEC, "compare_run.v1.json")
+
+    def test_schedule_envelope_matches_golden(self):
+        _check_against_golden(SCHEDULE_SPEC, "schedule_run.v1.json")
+
+    def test_golden_files_round_trip_through_runresult(self):
+        # The checked-in goldens themselves parse as valid v1 results.
+        from repro.api import RunResult
+
+        for name in ("compare_run.v1.json", "schedule_run.v1.json"):
+            restored = RunResult.from_json((GOLDEN_DIR / name).read_text())
+            assert restored.schema_version == 1
+            assert restored.to_dict() == json.loads((GOLDEN_DIR / name).read_text())
+
+
+class TestCLIParity:
+    def test_run_spec_bit_identical_to_legacy_compare(self, capsys, tmp_path):
+        """Acceptance criterion: spec-file and flag invocations emit the
+        same stamped envelope, bit for bit, modulo wall-clock fields."""
+        spec_path = tmp_path / "compare.json"
+        spec_path.write_text(
+            json.dumps(
+                {
+                    "kind": "compare",
+                    "arch": {"preset": "baseline-4x4"},
+                    "workload": {"network": "alexnet", "first_layers": 1},
+                    "platform": {"name": "timeloop", "metric": "latency"},
+                }
+            )
+        )
+        assert cli_main(["run", str(spec_path), "--json"]) == 0
+        from_spec = json.loads(capsys.readouterr().out)
+        assert cli_main(["compare", "alexnet", "--layers", "1", "--json"]) == 0
+        from_flags = json.loads(capsys.readouterr().out)
+
+        assert from_spec["schema_version"] == 1
+        assert normalize_times(from_spec) == normalize_times(from_flags)
+
+
+class TestGPUFromTheShell:
+    def test_gpu_scheduler_and_arch_smoke(self, capsys):
+        code = cli_main(
+            ["schedule", "1_1_64_64_1", "--scheduler", "gpu", "--arch", "gpu-k80", "--json"]
+        )
+        envelope = json.loads(capsys.readouterr().out)
+        assert code == 0
+        outcome = envelope["data"]["outcomes"][0]
+        assert outcome["scheduler"] == "cosa-gpu"
+        assert outcome["succeeded"] is True
+        assert envelope["spec"]["arch"]["preset"] == "gpu-k80"
+
+    def test_gpu_scheduler_on_spatial_arch_is_a_clean_error(self, capsys):
+        code = cli_main(["schedule", "1_1_64_64_1", "--scheduler", "gpu"])
+        captured = capsys.readouterr()
+        assert code == 1
+        assert "gpu-k80" in captured.err
+        assert captured.out == ""
+
+
+class TestRunSubcommandErrors:
+    def test_missing_spec_file(self, capsys):
+        assert cli_main(["run", "/nonexistent/spec.json"]) == 1
+        assert "does not exist" in capsys.readouterr().err
+
+    def test_invalid_json(self, capsys, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text("{not json")
+        assert cli_main(["run", str(path)]) == 1
+        assert "not valid JSON" in capsys.readouterr().err
+
+    def test_unknown_scheduler_suggests(self, capsys, tmp_path):
+        path = tmp_path / "typo.json"
+        path.write_text(
+            json.dumps(
+                {"kind": "schedule", "workload": {"layers": ["1_1_4_4_1"]}, "scheduler": "cosaa"}
+            )
+        )
+        assert cli_main(["run", str(path)]) == 1
+        assert "did you mean 'cosa'?" in capsys.readouterr().err
+
+    def test_unknown_spec_key_is_actionable(self, capsys, tmp_path):
+        path = tmp_path / "unknown.json"
+        path.write_text(json.dumps({"kind": "compare", "workload": "alexnet", "cache": "x"}))
+        assert cli_main(["run", str(path)]) == 1
+        assert "allowed keys" in capsys.readouterr().err

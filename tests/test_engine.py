@@ -252,9 +252,12 @@ class TestStatsNoneRegression:
 
     def test_cli_reports_failure_through_summary_path(self, capsys, monkeypatch):
         import repro.cli as cli
+        from repro.api import schedulers
 
-        monkeypatch.setattr(
-            cli, "_make_scheduler", lambda name, arch, **kw: CoSAScheduler(arch, backend=_FailingBackend())
+        monkeypatch.setitem(
+            schedulers._factories,
+            "cosa",
+            lambda accelerator, **kw: CoSAScheduler(accelerator, backend=_FailingBackend()),
         )
         code = cli.main(["schedule", "3_13_256_256_1"])
         captured = capsys.readouterr()
@@ -270,7 +273,11 @@ class TestEngineCLI:
         args = ["compare", "alexnet", "--layers", "1", "--jobs", "2", "--json",
                 "--cache", str(cache_file)]
         assert __import__("repro.cli", fromlist=["main"]).main(args) == 0
-        data = json.loads(capsys.readouterr().out)
+        envelope = json.loads(capsys.readouterr().out)
+        assert envelope["schema_version"] == 1
+        assert envelope["kind"] == "compare"
+        assert envelope["spec"]["workload"]["network"] == "alexnet"
+        data = envelope["data"]
         assert data["label"] == "alexnet"
         assert len(data["comparisons"]) == 1
         assert {"random", "timeloop-hybrid", "cosa"} <= set(data["engine_stats"])
@@ -278,7 +285,7 @@ class TestEngineCLI:
 
         # Second run against the persisted cache: zero fresh solves.
         assert __import__("repro.cli", fromlist=["main"]).main(args) == 0
-        data = json.loads(capsys.readouterr().out)
+        data = json.loads(capsys.readouterr().out)["data"]
         for stats in data["engine_stats"].values():
             assert stats["solves"] == 0
             assert stats["cache_hits"] == 1
@@ -287,8 +294,10 @@ class TestEngineCLI:
         from repro.cli import main as cli_main
 
         code = cli_main(["suite", "--scheduler", "random", "--layers", "1", "--json"])
-        data = json.loads(capsys.readouterr().out)
+        envelope = json.loads(capsys.readouterr().out)
         assert code == 0
+        assert envelope["schema_version"] == 1
+        data = envelope["data"]
         assert set(data["networks"]) == {"alexnet", "resnet50", "resnext50", "deepbench"}
         assert data["stats"]["num_layers"] == 4
 
@@ -296,8 +305,12 @@ class TestEngineCLI:
         from repro.cli import main as cli_main
 
         code = cli_main(["schedule", "3_13_256_256_1", "--scheduler", "random", "--json"])
-        data = json.loads(capsys.readouterr().out)
+        envelope = json.loads(capsys.readouterr().out)
         assert code == 0
-        assert data["succeeded"] is True
-        assert "loop_nest" in data
-        assert data["metrics"]["latency"] > 0
+        assert envelope["schema_version"] == 1
+        assert envelope["spec"]["scheduler"]["name"] == "random"
+        outcome = envelope["data"]["outcomes"][0]
+        assert envelope["data"]["succeeded"] is True
+        assert outcome["succeeded"] is True
+        assert "loop_nest" in outcome
+        assert outcome["metrics"]["latency"] > 0

@@ -6,8 +6,7 @@ machinery on tiny inputs so the unit suite stays fast.
 
 import pytest
 
-from repro.arch import simba_like
-from repro.experiments.harness import (
+from repro.api import (
     ComparisonConfig,
     LayerComparison,
     SpeedupSummary,
@@ -15,6 +14,7 @@ from repro.experiments.harness import (
     compare_on_network,
     geometric_mean,
 )
+from repro.arch import simba_like
 from repro.experiments.figures import (
     fig1_latency_histogram,
     fig3_permutation_sweep,
@@ -139,3 +139,30 @@ class TestFigureGenerators:
             for factor in point.spatial.values():
                 product *= factor
             assert product <= simba_like().num_pes
+
+
+class TestHarnessDeprecationShim:
+    """The old repro.experiments.harness location keeps working, with a warning."""
+
+    def test_classes_reexported(self):
+        from repro.experiments import harness
+
+        assert harness.ComparisonConfig is ComparisonConfig
+        assert harness.SpeedupSummary is SpeedupSummary
+        assert harness.geometric_mean is geometric_mean
+
+    def test_compare_on_layer_warns_and_delegates(self):
+        from repro.experiments.harness import compare_on_layer as legacy_compare_on_layer
+
+        config = ComparisonConfig(
+            accelerator=ARCH,
+            random_valid=2,
+            hybrid_threads=1,
+            hybrid_termination=8,
+            hybrid_max_evaluations=60,
+        )
+        layer = Layer(r=1, p=2, c=4, k=4, name="shim-tiny")
+        with pytest.warns(DeprecationWarning, match="repro.api"):
+            comparison = legacy_compare_on_layer(layer, config)
+        assert isinstance(comparison, LayerComparison)
+        assert comparison.layer == "shim-tiny"

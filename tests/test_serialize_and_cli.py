@@ -95,3 +95,51 @@ class TestCLI:
         output = capsys.readouterr().out
         assert "CoSA solve" in output
         assert "NoC-simulated latency" in output
+
+
+class TestCLIFacade:
+    """The registry-driven subcommands added with the declarative facade."""
+
+    def test_registry_listing(self, capsys):
+        assert cli_main(["registry"]) == 0
+        output = capsys.readouterr().out
+        for axis in ("schedulers:", "architectures:", "platforms:", "workloads:"):
+            assert axis in output
+        assert "cosa" in output
+        assert "gpu-k80" in output
+
+    def test_registry_single_axis(self, capsys):
+        assert cli_main(["registry", "platforms"]) == 0
+        output = capsys.readouterr().out
+        assert "timeloop" in output and "noc" in output
+        assert "schedulers:" not in output
+
+    def test_schedule_accepts_cache_and_jobs(self, capsys, tmp_path):
+        cache_file = tmp_path / "cache.json"
+        args = ["schedule", "3_13_256_256_1", "--scheduler", "random",
+                "--jobs", "2", "--cache", str(cache_file)]
+        assert cli_main(args) == 0
+        first = capsys.readouterr().out
+        assert "Random search" in first
+        assert cache_file.exists()
+
+        # Second invocation reuses the persisted mapping cache.
+        assert cli_main(args) == 0
+        second = capsys.readouterr().out
+        assert "served from mapping cache" in second
+
+    def test_run_subcommand_executes_spec_file(self, capsys, tmp_path):
+        spec_path = tmp_path / "spec.json"
+        spec_path.write_text(json.dumps({
+            "kind": "schedule",
+            "workload": {"layers": ["3_13_256_256_1"]},
+            "scheduler": {"name": "random", "options": {"num_valid": 2}},
+        }))
+        assert cli_main(["run", str(spec_path), "--json"]) == 0
+        envelope = json.loads(capsys.readouterr().out)
+        assert envelope["schema_version"] == 1
+        assert envelope["data"]["outcomes"][0]["scheduler"] == "random"
+
+        # The same spec renders the human-readable summary without --json.
+        assert cli_main(["run", str(spec_path)]) == 0
+        assert "analytical latency" in capsys.readouterr().out
