@@ -3,7 +3,7 @@
 from bench_utils import layers_per_network, save_report
 
 from repro.experiments.figures import fig9_architecture_sweep
-from repro.experiments.harness import geometric_mean
+from repro.api import geometric_mean
 from repro.experiments.reporting import format_speedup_rows
 
 

@@ -1,0 +1,62 @@
+"""Asynchronous scheduling with jobs, events and the result store.
+
+Demonstrates the service shape of the API (`repro.api.service`):
+
+1. submit specs to a `SchedulingService` and get first-class jobs back,
+2. watch typed, schema-versioned progress events stream per layer,
+3. resubmit an identical spec and observe the result-store hit: the stored
+   envelope returns verbatim and no scheduler runs.
+
+Run with:  PYTHONPATH=src python examples/service_jobs.py
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro.api import RunSpec, SchedulingService
+
+SPEC = RunSpec.from_dict(
+    {
+        "kind": "compare",
+        "workload": {"network": "alexnet", "first_layers": 2},
+        "engine": {"jobs": 2},
+        "options": {
+            "random_valid": 2,
+            "hybrid_threads": 1,
+            "hybrid_termination": 8,
+            "hybrid_max_evaluations": 60,
+        },
+    }
+)
+
+
+def main() -> None:
+    store_dir = Path(tempfile.mkdtemp(prefix="repro-store-"))
+    with SchedulingService(max_workers=2, store=store_dir) as service:
+        # --- first submission: a fresh run, events stream as layers finish.
+        job = service.submit(SPEC)
+        print(f"submitted {job.id} ({job.spec.kind})")
+        for event in job.events():
+            if event.KIND == "layer_scheduled":
+                cosa = event.cost["cosa"]["latency"]
+                print(f"  layer {event.index} {event.layer:<16} cosa latency {cosa:.0f}")
+            else:
+                print(f"  {event.KIND}")
+        result = job.result()
+        print(f"cosa geomean speedup: {result.data['cosa_geomean']:.2f}x")
+
+        # --- second submission: identical spec, served from the store.
+        rerun = service.submit(SPEC)
+        rerun.result()
+        print(
+            f"resubmitted as {rerun.id}: store_hit={rerun.store_hit} "
+            f"(store stats: {service.store.stats.to_dict()})"
+        )
+        assert rerun.store_hit, "identical spec must be served from the store"
+        assert rerun.result().to_dict() == result.to_dict()
+
+    print(f"job records + envelopes persisted under {store_dir}")
+
+
+if __name__ == "__main__":
+    main()

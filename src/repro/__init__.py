@@ -60,6 +60,7 @@ __all__ = [
     "run",
     "RunSpec",
     "RunResult",
+    "SchedulingService",
     "__version__",
 ]
 
@@ -74,7 +75,7 @@ def __getattr__(name: str):
         import repro.engine as engine
 
         return getattr(engine, name)
-    if name in ("api", "run", "RunSpec", "RunResult"):
+    if name in ("api", "run", "RunSpec", "RunResult", "SchedulingService"):
         import repro.api as api
 
         return api if name == "api" else getattr(api, name)

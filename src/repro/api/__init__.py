@@ -10,10 +10,16 @@ contract:
 * :mod:`repro.api.registry` — string-keyed plugin registries for all four
   axes with ``register_*`` decorators, typo-suggesting lookup errors and
   introspectable ``available()``,
-* :mod:`repro.api.runner` — the single versioned entry point
+* :mod:`repro.api.runner` — the versioned entry point
   ``run(spec) -> RunResult``; results stamp the payload ``schema_version``
   and the resolved spec, and round-trip through ``to_dict``/``from_dict``/
-  JSON.
+  JSON,
+* :mod:`repro.api.service` — the asynchronous :class:`SchedulingService`:
+  ``submit(spec) -> Job`` with states, ``Job.result(timeout=...)``,
+  ``cancel()`` and live typed events (:mod:`repro.api.events`), backed by a
+  bounded worker pool and the content-addressed on-disk
+  :class:`~repro.api.store.ResultStore` (``run()`` is a thin synchronous
+  wrapper over ``submit().result()``).
 
 Quickstart::
 
@@ -25,6 +31,16 @@ Quickstart::
     }))
     print(result.data["cosa_geomean"])
     print(result.to_json())            # schema_version-stamped, reproducible
+
+Asynchronously, with progress events and result-store de-duplication::
+
+    from repro.api import RunSpec, SchedulingService
+
+    with SchedulingService(max_workers=4, store="run-store") as service:
+        job = service.submit(RunSpec.from_dict({...}))
+        for event in job.events():
+            print(event.to_dict())     # NDJSON-ready typed events
+        result = job.result()          # identical envelope to run()
 
 Registering a plugin makes it reachable from specs, ``run()`` and the CLI
 without touching any of them::
@@ -89,9 +105,27 @@ __all__ = [
     "WorkloadSpec",
     "RunResult",
     "SCHEMA_VERSION",
-    # entry point (lazy)
+    # entry points (lazy)
     "run",
+    "execute",
     "load_spec",
+    # service layer (lazy)
+    "SchedulingService",
+    "Job",
+    "JobState",
+    "JobCancelled",
+    "JobTimeout",
+    "ResultStore",
+    "spec_fingerprint",
+    # event protocol (lazy)
+    "EVENT_SCHEMA_VERSION",
+    "Event",
+    "RunQueued",
+    "RunStarted",
+    "LayerScheduled",
+    "RunFinished",
+    "RunFailed",
+    "event_from_dict",
     # comparison pipeline (lazy)
     "ComparisonConfig",
     "LayerComparison",
@@ -105,7 +139,23 @@ __all__ = [
 #: Names resolved lazily to keep ``import repro.api`` free of scipy/numpy.
 _LAZY = {
     "run": "repro.api.runner",
+    "execute": "repro.api.runner",
     "load_spec": "repro.api.runner",
+    "SchedulingService": "repro.api.service",
+    "Job": "repro.api.service",
+    "JobState": "repro.api.service",
+    "JobCancelled": "repro.api.service",
+    "JobTimeout": "repro.api.service",
+    "ResultStore": "repro.api.store",
+    "spec_fingerprint": "repro.api.store",
+    "EVENT_SCHEMA_VERSION": "repro.api.events",
+    "Event": "repro.api.events",
+    "RunQueued": "repro.api.events",
+    "RunStarted": "repro.api.events",
+    "LayerScheduled": "repro.api.events",
+    "RunFinished": "repro.api.events",
+    "RunFailed": "repro.api.events",
+    "event_from_dict": "repro.api.events",
     "ComparisonConfig": "repro.api.comparison",
     "LayerComparison": "repro.api.comparison",
     "SpeedupSummary": "repro.api.comparison",

@@ -109,6 +109,12 @@ class LayerComparison:
     random_samples: int = 0
     hybrid_samples: int = 0
     hybrid_evaluations: int = 0
+    #: Whether each schedule was served by the mapping cache (not part of
+    #: the serialized row — the v1 payload shape is pinned by golden tests —
+    #: but surfaced in per-layer ``layer_scheduled`` service events).
+    random_cached: bool = False
+    hybrid_cached: bool = False
+    cosa_cached: bool = False
 
     @property
     def hybrid_speedup(self) -> float:
@@ -288,6 +294,9 @@ def compare_on_network(
                 random_samples=random_outcome.num_sampled,
                 hybrid_samples=hybrid_outcome.num_sampled,
                 hybrid_evaluations=hybrid_outcome.num_evaluated,
+                random_cached=random_outcome.from_cache,
+                hybrid_cached=hybrid_outcome.from_cache,
+                cosa_cached=cosa_outcome.from_cache,
             )
         )
     return summary

@@ -1,13 +1,22 @@
-"""The single versioned entry point: ``run(spec) -> RunResult``.
+"""The versioned entry points: ``run(spec)`` and its asynchronous core.
 
-``run`` resolves every axis of a :class:`~repro.api.specs.RunSpec` through
-the plugin registries, drives the
+:func:`execute` resolves every axis of a :class:`~repro.api.specs.RunSpec`
+through the plugin registries, drives the
 :class:`~repro.engine.engine.SchedulingEngine` (or the comparison pipeline),
 and returns a :class:`~repro.api.result.RunResult` stamped with the payload
-``schema_version`` and the fully resolved spec.  The CLI subcommands
-(``schedule``/``compare``/``suite``/``run``) are thin argument translators
-over this function, so a scheduler, architecture, workload or platform
-registered by a plugin is immediately reachable from every entry point.
+``schema_version`` and the fully resolved spec.  It optionally narrates
+per-layer progress through an ``emit_layer`` callback — the hook the
+:class:`~repro.api.service.SchedulingService` turns into ``layer_scheduled``
+events.
+
+:func:`run` is the synchronous convenience wrapper the public API promises:
+it submits the spec to a private single-worker service and blocks on
+``Job.result()``, so ``run(spec)`` and ``service.submit(spec).result()``
+are the same code path and produce bit-identical envelopes.  The CLI
+subcommands (``schedule``/``compare``/``suite``/``run``/``submit``) are thin
+argument translators over these functions, so a scheduler, architecture,
+workload or platform registered by a plugin is immediately reachable from
+every entry point.
 
 Payload shapes (``RunResult.data``) by kind:
 
@@ -27,6 +36,7 @@ from __future__ import annotations
 
 import inspect
 import json
+import math
 from pathlib import Path
 
 from repro.api.registry import architectures, platforms, schedulers, workloads
@@ -54,9 +64,37 @@ def load_spec(path) -> RunSpec:
 
 
 def run(spec: RunSpec) -> RunResult:
-    """Execute one declarative experiment and return its stamped result."""
+    """Execute one declarative experiment and return its stamped result.
+
+    A thin synchronous wrapper over the service API: the spec is submitted
+    to a private single-worker :class:`~repro.api.service.SchedulingService`
+    (no result store attached) and this call blocks on ``Job.result()``.
+    Failures re-raise the original exception, so error behaviour is
+    unchanged from the pre-service ``run()``.
+    """
     if not isinstance(spec, RunSpec):
         raise TypeError(f"run() expects a RunSpec, got {type(spec).__name__}")
+    from repro.api.service import SchedulingService
+
+    service = SchedulingService(max_workers=1)
+    try:
+        return service.submit(spec).result()
+    finally:
+        # No join: the worker is a daemon and already idle on the normal
+        # path, and an interrupt (Ctrl-C mid-sweep) must not block here —
+        # matching the pre-service inline behaviour.
+        service.shutdown(wait=False)
+
+
+def execute(spec: RunSpec, emit_layer=None) -> RunResult:
+    """The synchronous core behind :func:`run` and every service job.
+
+    ``emit_layer``, when given, is called with one JSON-compatible progress
+    payload per input layer (in deterministic input order; see
+    :class:`~repro.api.events.LayerScheduled` for the field contract).
+    """
+    if not isinstance(spec, RunSpec):
+        raise TypeError(f"execute() expects a RunSpec, got {type(spec).__name__}")
     accelerator = architectures.create(spec.arch.preset)
 
     cache = None
@@ -66,15 +104,49 @@ def run(spec: RunSpec) -> RunResult:
         cache = MappingCache(path=spec.engine.cache)
 
     if spec.kind == "compare":
-        result = _run_compare(spec, accelerator, cache)
+        result = _run_compare(spec, accelerator, cache, emit_layer)
     elif spec.kind == "schedule":
-        result = _run_schedule(spec, accelerator, cache)
+        result = _run_schedule(spec, accelerator, cache, emit_layer)
     else:
-        result = _run_suite(spec, accelerator, cache)
+        result = _run_suite(spec, accelerator, cache, emit_layer)
 
     if cache is not None:
         cache.save()
     return result
+
+
+def _finite(value) -> float | None:
+    """Clamp non-finite metric values to ``None`` for event payloads."""
+    if value is None or not isinstance(value, (int, float)):
+        return None
+    return value if math.isfinite(value) else None
+
+
+def _engine_observer(emit_layer, scheduler_name: str):
+    """Adapt :class:`~repro.engine.engine.LayerReport` progress reports into
+    ``layer_scheduled`` event payloads for single-scheduler runs."""
+    if emit_layer is None:
+        return None
+
+    def observer(report):
+        emit_layer(
+            {
+                "network": report.network,
+                "index": report.index,
+                "layer": report.layer.name or report.layer.canonical_name,
+                "succeeded": report.outcome.succeeded,
+                "dedup": report.source == "dedup",
+                "cache_hit": {scheduler_name: report.source == "cache"},
+                "cost": {
+                    scheduler_name: {
+                        metric: _finite(value)
+                        for metric, value in report.outcome.metrics.items()
+                    }
+                },
+            }
+        )
+
+    return observer
 
 
 # ----------------------------------------------------------------- resolution
@@ -148,7 +220,7 @@ def _build_scheduler(spec: RunSpec, accelerator):
 # ----------------------------------------------------------------- run kinds
 
 
-def _run_schedule(spec: RunSpec, accelerator, cache) -> RunResult:
+def _run_schedule(spec: RunSpec, accelerator, cache, emit_layer=None) -> RunResult:
     from repro.engine import SchedulingEngine
     from repro.mapping.loopnest import render_loop_nest
 
@@ -156,7 +228,11 @@ def _run_schedule(spec: RunSpec, accelerator, cache) -> RunResult:
     scheduler = _build_scheduler(spec, accelerator)
     engine = SchedulingEngine(scheduler, cache=cache)
     network = engine.schedule_network(
-        layers, jobs=spec.engine.jobs, executor=spec.engine.executor, label=label
+        layers,
+        jobs=spec.engine.jobs,
+        executor=spec.engine.executor,
+        label=label,
+        observer=_engine_observer(emit_layer, scheduler.name),
     )
     # The engine already evaluated the analytical metrics once per mapping,
     # and the built-in "timeloop" platform reports exactly those — only other
@@ -193,7 +269,7 @@ def _run_schedule(spec: RunSpec, accelerator, cache) -> RunResult:
     return RunResult(kind="schedule", spec=spec, data=data, artifacts=artifacts)
 
 
-def _run_compare(spec: RunSpec, accelerator, cache) -> RunResult:
+def _run_compare(spec: RunSpec, accelerator, cache, emit_layer=None) -> RunResult:
     from repro.api.comparison import ComparisonConfig, compare_on_network
 
     unknown = sorted(set(spec.options) - set(COMPARE_OPTIONS))
@@ -221,6 +297,33 @@ def _run_compare(spec: RunSpec, accelerator, cache) -> RunResult:
         executor=spec.engine.executor,
     )
 
+    if emit_layer is not None:
+        # One merged event per input layer, all three schedulers' values in
+        # one payload (deterministic: emitted from the finished summary in
+        # layer order, and every value is seed-stable).
+        metric = spec.platform.metric
+        for index, row in enumerate(summary.comparisons):
+            values = {
+                "random": _finite(row.random_value),
+                "hybrid": _finite(row.hybrid_value),
+                "cosa": _finite(row.cosa_value),
+            }
+            emit_layer(
+                {
+                    "network": label,
+                    "index": index,
+                    "layer": row.layer,
+                    "succeeded": all(value is not None for value in values.values()),
+                    "dedup": layers[index] in layers[:index],
+                    "cache_hit": {
+                        "random": row.random_cached,
+                        "hybrid": row.hybrid_cached,
+                        "cosa": row.cosa_cached,
+                    },
+                    "cost": {name: {metric: value} for name, value in values.items()},
+                }
+            )
+
     payload = summary.to_dict()
     data = {
         "label": payload.pop("label"),
@@ -232,13 +335,18 @@ def _run_compare(spec: RunSpec, accelerator, cache) -> RunResult:
     return RunResult(kind="compare", spec=spec, data=data, artifacts=artifacts)
 
 
-def _run_suite(spec: RunSpec, accelerator, cache) -> RunResult:
+def _run_suite(spec: RunSpec, accelerator, cache, emit_layer=None) -> RunResult:
     from repro.engine import SchedulingEngine
 
     suite = _resolve_suite(spec.workload)
     scheduler = _build_scheduler(spec, accelerator)
     engine = SchedulingEngine(scheduler, cache=cache)
-    result = engine.schedule_suite(suite, jobs=spec.engine.jobs, executor=spec.engine.executor)
+    result = engine.schedule_suite(
+        suite,
+        jobs=spec.engine.jobs,
+        executor=spec.engine.executor,
+        observer=_engine_observer(emit_layer, scheduler.name),
+    )
 
     succeeded = all(
         network.num_succeeded == len(network.outcomes) for network in result.networks.values()

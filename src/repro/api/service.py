@@ -1,0 +1,434 @@
+"""The asynchronous scheduling service: jobs, events and the result store.
+
+The paper's experiments are long-running sweeps, so the service API has the
+shape production schedulers converge on — submit work, observe progress,
+fetch and de-duplicate results:
+
+* :meth:`SchedulingService.submit` turns a
+  :class:`~repro.api.specs.RunSpec` into a first-class :class:`Job` executed
+  on a bounded worker pool;
+* every job narrates its life through the typed, schema-versioned event
+  protocol of :mod:`repro.api.events` (``run_queued`` → ``run_started`` →
+  one ``layer_scheduled`` per layer → ``run_finished``/``run_failed``),
+  consumable via :meth:`Job.events` or an ``on_event`` callback;
+* with a :class:`~repro.api.store.ResultStore` attached, finished envelopes
+  are persisted under the spec fingerprint and **resubmitting an identical
+  spec is a store hit** — the stored envelope is returned verbatim and no
+  scheduler runs.
+
+Quickstart::
+
+    from repro.api import RunSpec, SchedulingService
+
+    with SchedulingService(max_workers=4, store="run-store") as service:
+        job = service.submit(RunSpec.from_dict({
+            "kind": "compare",
+            "workload": {"network": "resnet50", "first_layers": 4},
+        }))
+        for event in job.events():            # streams as layers finish
+            print(event.to_dict())
+        result = job.result()                 # the stamped RunResult
+
+The synchronous :func:`repro.api.run` is a thin wrapper over
+``submit(spec).result()`` on a private single-worker service, so both entry
+points share one execution path and produce bit-identical envelopes.
+
+Threading notes: jobs run on a bounded pool of **daemon** worker threads
+(``max_workers`` concurrent runs; further submissions queue in order).
+Daemon workers keep the process interruptible: Ctrl-C during a long sweep
+exits promptly instead of blocking until the sweep drains, matching the
+pre-service inline ``run()`` behaviour.  ``on_event`` callbacks and
+:meth:`Job.events` deliveries originate from the worker thread that
+executes the job (``run_queued`` alone fires from the submitting thread);
+event payloads are deterministic even under ``engine.jobs > 1`` because
+the engine reports layers in input order (see
+:class:`~repro.engine.engine.LayerReport`).
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from enum import Enum
+from pathlib import Path
+from typing import Callable, Iterator
+
+from repro.api.events import (
+    TERMINAL_EVENTS,
+    Event,
+    LayerScheduled,
+    RunFailed,
+    RunFinished,
+    RunQueued,
+    RunStarted,
+)
+from repro.api.result import RunResult
+from repro.api.specs import RunSpec
+from repro.api.store import ResultStore, spec_fingerprint
+
+
+class JobState(str, Enum):
+    """Lifecycle of one submitted job."""
+
+    QUEUED = "queued"
+    RUNNING = "running"
+    DONE = "done"
+    FAILED = "failed"
+    CANCELLED = "cancelled"
+
+
+#: States a job can never leave.
+TERMINAL_STATES = (JobState.DONE, JobState.FAILED, JobState.CANCELLED)
+
+
+class JobCancelled(RuntimeError):
+    """Raised by :meth:`Job.result` when the job was cancelled."""
+
+
+class JobTimeout(TimeoutError):
+    """Raised by :meth:`Job.result` / :meth:`Job.events` on timeout."""
+
+
+class Job:
+    """One submitted run: state, events, and eventually a result.
+
+    Jobs are created by :meth:`SchedulingService.submit`; the constructor is
+    not public API.  All attributes are safe to read from any thread.
+    """
+
+    def __init__(
+        self,
+        job_id: str,
+        spec: RunSpec,
+        fingerprint: str,
+        on_event: Callable[[Event], None] | None = None,
+    ):
+        self.id = job_id
+        self.spec = spec
+        self.fingerprint = fingerprint
+        self.state = JobState.QUEUED
+        #: ``True`` when the result was served from the result store.
+        self.store_hit = False
+        #: The original exception of a failed job.
+        self.error: BaseException | None = None
+        self._result: RunResult | None = None
+        self._done = threading.Event()
+        self._lock = threading.Lock()
+        self._log: list[Event] = []
+        self._subscribers: list[queue.SimpleQueue] = []
+        self._on_event = on_event
+        #: Persists the job record; installed by the owning service.
+        self._record: Callable[["Job"], None] = lambda job: None
+
+    def __repr__(self) -> str:
+        return f"Job(id={self.id!r}, kind={self.spec.kind!r}, state={self.state.value!r})"
+
+    @property
+    def done(self) -> bool:
+        """True once the job reached a terminal state."""
+        return self.state in TERMINAL_STATES
+
+    @property
+    def event_log(self) -> list[Event]:
+        """Snapshot of every event emitted so far, in ``seq`` order."""
+        with self._lock:
+            return list(self._log)
+
+    # -------------------------------------------------------------- emission
+    def _emit(self, cls: type[Event], **fields) -> Event:
+        with self._lock:
+            event = cls(job_id=self.id, seq=len(self._log), **fields)
+            self._log.append(event)
+            subscribers = list(self._subscribers)
+        for channel in subscribers:
+            channel.put(event)
+        if self._on_event is not None:
+            self._on_event(event)
+        return event
+
+    # ------------------------------------------------------------ observation
+    def events(self, timeout: float | None = None) -> Iterator[Event]:
+        """Iterate the job's events from the beginning, live.
+
+        Replays everything already emitted, then blocks for new events until
+        the terminal ``run_finished``/``run_failed`` arrives.  ``timeout``
+        bounds the wait for each *individual* event (:class:`JobTimeout` on
+        expiry); ``None`` waits indefinitely.  Multiple concurrent iterators
+        each see the complete stream.
+        """
+        channel: queue.SimpleQueue = queue.SimpleQueue()
+        with self._lock:
+            backlog = list(self._log)
+            finished = any(event.KIND in TERMINAL_EVENTS for event in backlog)
+            if not finished:
+                self._subscribers.append(channel)
+        try:
+            yield from backlog
+            if finished:
+                return
+            while True:
+                try:
+                    event = channel.get(timeout=timeout)
+                except queue.Empty:
+                    raise JobTimeout(
+                        f"job {self.id} emitted no event within {timeout} seconds"
+                    ) from None
+                yield event
+                if event.KIND in TERMINAL_EVENTS:
+                    return
+        finally:
+            with self._lock:
+                if channel in self._subscribers:
+                    self._subscribers.remove(channel)
+
+    def wait(self, timeout: float | None = None) -> bool:
+        """Block until the job is terminal; ``False`` on timeout."""
+        return self._done.wait(timeout)
+
+    def result(self, timeout: float | None = None) -> RunResult:
+        """Block for and return the job's :class:`RunResult`.
+
+        Raises :class:`JobTimeout` when the job is still running after
+        ``timeout`` seconds, :class:`JobCancelled` for cancelled jobs, and
+        re-raises the original exception for failed ones.
+        """
+        if not self._done.wait(timeout):
+            raise JobTimeout(
+                f"job {self.id} did not finish within {timeout} seconds "
+                f"(state: {self.state.value})"
+            )
+        if self.state is JobState.CANCELLED:
+            raise JobCancelled(f"job {self.id} was cancelled")
+        if self.state is JobState.FAILED:
+            assert self.error is not None
+            raise self.error
+        assert self._result is not None
+        return self._result
+
+    # ------------------------------------------------------------ cancellation
+    def cancel(self) -> bool:
+        """Cancel the job if it has not started executing yet.
+
+        Returns ``True`` when the job was still queued and is now
+        ``CANCELLED`` (a terminal ``run_failed`` event is emitted so event
+        streams drain, and the persisted job record is updated); ``False``
+        when it already runs or finished — in-flight solves are never
+        interrupted.  The worker that eventually dequeues a cancelled job
+        skips it.
+        """
+        with self._lock:
+            if self.state is not JobState.QUEUED:
+                return False
+            self.state = JobState.CANCELLED
+        try:
+            self._emit(
+                RunFailed,
+                error_type=JobCancelled.__name__,
+                error_message="cancelled before execution",
+            )
+        finally:
+            self._record(self)
+            self._done.set()
+        return True
+
+    # ------------------------------------------------------------- persistence
+    def to_dict(self) -> dict:
+        """JSON-compatible job record (what ``repro jobs`` lists)."""
+        return {
+            "job_id": self.id,
+            "state": self.state.value,
+            "kind": self.spec.kind,
+            "spec_fingerprint": self.fingerprint,
+            "store_hit": self.store_hit,
+            "error": None
+            if self.error is None
+            else {"type": type(self.error).__name__, "message": str(self.error)},
+            "num_events": len(self.event_log),
+            "spec": self.spec.to_dict(),
+        }
+
+
+#: Queue sentinel telling a worker thread to exit.
+_SHUTDOWN = object()
+
+
+class SchedulingService:
+    """Bounded-concurrency job executor with events and a result store.
+
+    Parameters
+    ----------
+    max_workers:
+        Concurrent jobs (further submissions queue in order).  Per-job layer
+        parallelism is independent and comes from ``spec.engine.jobs``.
+    store:
+        Optional :class:`~repro.api.store.ResultStore` (or a directory path,
+        which constructs one): finished envelopes are persisted under the
+        spec fingerprint, resubmissions of identical specs become store
+        hits, and job records survive the process for ``repro jobs`` /
+        ``repro result``.
+
+    The service is a context manager; leaving the block waits for running
+    jobs and shuts the pool down.  Workers are daemon threads, so an
+    interrupted process (Ctrl-C mid-sweep) exits promptly instead of
+    draining the queue; call :meth:`shutdown` (or use the context manager)
+    for a clean hand-over.
+    """
+
+    def __init__(self, max_workers: int = 2, store: ResultStore | str | Path | None = None):
+        if max_workers < 1:
+            raise ValueError(f"max_workers must be >= 1, got {max_workers}")
+        if isinstance(store, (str, Path)):
+            store = ResultStore(store)
+        self.store = store
+        self.max_workers = max_workers
+        self._queue: queue.SimpleQueue = queue.SimpleQueue()
+        self._workers = [
+            threading.Thread(
+                target=self._worker_loop, name=f"repro-service-{index}", daemon=True
+            )
+            for index in range(max_workers)
+        ]
+        for worker in self._workers:
+            worker.start()
+        self._jobs: dict[str, Job] = {}
+        self._lock = threading.Lock()
+        self._counter = 0
+        self._closed = False
+
+    # -------------------------------------------------------------- lifecycle
+    def __enter__(self) -> "SchedulingService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown(wait=True)
+
+    def shutdown(self, wait: bool = True) -> None:
+        """Stop accepting jobs and (optionally) wait for queued/running ones."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+        for _ in self._workers:
+            self._queue.put(_SHUTDOWN)
+        if wait:
+            for worker in self._workers:
+                worker.join()
+
+    # ------------------------------------------------------------- submission
+    def submit(self, spec: RunSpec, on_event: Callable[[Event], None] | None = None) -> Job:
+        """Queue one spec for execution and return its :class:`Job`.
+
+        ``on_event`` is invoked synchronously for every event the job emits:
+        ``run_queued`` from this call, everything later from the worker
+        thread.  An ``on_event`` exception during ``run_queued`` aborts the
+        submission (the job is unregistered and the exception propagates).
+        """
+        if not isinstance(spec, RunSpec):
+            raise TypeError(f"submit() expects a RunSpec, got {type(spec).__name__}")
+        fingerprint = spec_fingerprint(spec)
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("cannot submit to a shut-down SchedulingService")
+            if self.store is not None:
+                job_id = self.store.allocate_job_id(fingerprint)
+            else:
+                self._counter += 1
+                job_id = f"job-{self._counter:06d}-{fingerprint[:12]}"
+            job = Job(job_id, spec, fingerprint, on_event=on_event)
+            job._record = self._record
+            self._jobs[job.id] = job
+            self._record(job)
+        try:
+            job._emit(RunQueued, kind=spec.kind, spec_fingerprint=fingerprint)
+        except BaseException:
+            # The subscriber died before the job ever queued: unregister so
+            # nothing waits on a job that will never run.
+            with self._lock:
+                self._jobs.pop(job.id, None)
+            job.error = JobCancelled(f"job {job.id} aborted during run_queued emission")
+            with job._lock:
+                job.state = JobState.FAILED
+            job._done.set()
+            raise
+        self._queue.put(job)
+        return job
+
+    # -------------------------------------------------------------- inspection
+    def job(self, job_id: str) -> Job:
+        """Look up a job of this service instance by id."""
+        with self._lock:
+            if job_id not in self._jobs:
+                raise KeyError(
+                    f"unknown job {job_id!r}; known: {', '.join(sorted(self._jobs)) or 'none'}"
+                )
+            return self._jobs[job_id]
+
+    def jobs(self) -> list[Job]:
+        """Every job submitted to this service, in submission order."""
+        with self._lock:
+            return list(self._jobs.values())
+
+    # --------------------------------------------------------------- execution
+    def _record(self, job: Job) -> None:
+        if self.store is not None:
+            self.store.record_job(job.to_dict())
+            self.store.record_events(job.id, job.event_log)
+
+    def _worker_loop(self) -> None:
+        while True:
+            item = self._queue.get()
+            if item is _SHUTDOWN:
+                return
+            try:
+                self._execute_job(item)
+            except BaseException:
+                # _execute_job handles job failures itself; anything escaping
+                # it is a subscriber blowing up on a terminal event.  The job
+                # is already terminal and recorded — keep the worker alive.
+                pass
+
+    def _execute_job(self, job: Job) -> None:
+        with job._lock:
+            if job.state is not JobState.QUEUED:  # cancelled while queued
+                return
+            job.state = JobState.RUNNING
+        try:
+            job._emit(RunStarted)
+            result = None
+            store_hit = False
+            if self.store is not None:
+                result = self.store.get(job.spec, job.fingerprint)
+                store_hit = result is not None
+            if result is None:
+                from repro.api import runner
+
+                result = runner.execute(
+                    job.spec,
+                    emit_layer=lambda payload: job._emit(LayerScheduled, **payload),
+                )
+                if self.store is not None:
+                    self.store.put(result, job.fingerprint)
+            job._result = result
+            job.store_hit = store_hit
+            with job._lock:
+                job.state = JobState.DONE
+        except BaseException as error:  # the error re-raises from Job.result
+            job.error = error
+            with job._lock:
+                job.state = JobState.FAILED
+            try:
+                job._emit(
+                    RunFailed, error_type=type(error).__name__, error_message=str(error)
+                )
+            finally:
+                self._record(job)
+                job._done.set()
+            return
+        # Success: emit the terminal event *after* the DONE transition, and
+        # release waiters even when a subscriber raises on it (the event is
+        # in the log and every queue before on_event callbacks run).
+        try:
+            job._emit(RunFinished, store_hit=store_hit, result=result.to_dict())
+        finally:
+            self._record(job)
+            job._done.set()

@@ -1,0 +1,180 @@
+"""Content-addressed on-disk store of finished :class:`RunResult` envelopes.
+
+The paper's sweeps re-run the same experiments constantly — across shell
+sessions, CI jobs and notebook restarts — and the mapping cache only
+de-duplicates *per-layer solves inside one process tree*.  The
+:class:`ResultStore` closes the loop at the experiment level: every finished
+run is persisted under the **fingerprint of its spec**, so resubmitting an
+identical spec is a store hit that returns the stored envelope verbatim
+without invoking any scheduler.
+
+* Envelopes are the plain v1 :meth:`~repro.api.result.RunResult.to_dict`
+  JSON — the store adds no wrapper, so a stored file round-trips through
+  ``RunResult.from_json`` and is byte-for-byte what ``run()`` produced.
+* The key (:func:`spec_fingerprint`) hashes the *result-determining* part of
+  the spec: execution-only knobs (``jobs``, ``executor``, the mapping-cache
+  path) are excluded, so a 1-job and an 8-job run of the same experiment
+  share one entry, while everything that can change the payload (kind, axes,
+  seed, options, evaluation batch size and time budget) splits entries.
+* Writes go through :func:`repro.io_utils.atomic_write_json`, so concurrent
+  services sharing one store directory never tear an envelope.
+
+Job records (:class:`~repro.api.service.SchedulingService` bookkeeping for
+``repro jobs`` / ``repro result``) live next to the envelopes:
+
+```
+<root>/results/<fingerprint>.json      # RunResult envelopes
+<root>/jobs/<job_id>.json              # job records
+<root>/jobs/<job_id>.events.ndjson     # one serialized event per line
+```
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.api.result import RunResult
+from repro.api.specs import RunSpec
+from repro.digest import stable_digest
+from repro.io_utils import atomic_write_json, atomic_write_text
+
+#: ``EngineSpec`` keys that steer execution but cannot change the payload
+#: (see the determinism notes in :mod:`repro.engine.engine`); they are
+#: excluded from the spec fingerprint.
+EXECUTION_ONLY_ENGINE_KEYS = ("jobs", "executor", "cache")
+
+
+def spec_fingerprint(spec: RunSpec) -> str:
+    """Content hash of the result-determining part of ``spec``."""
+    payload = spec.to_dict()
+    payload["engine"] = {
+        key: value
+        for key, value in payload["engine"].items()
+        if key not in EXECUTION_ONLY_ENGINE_KEYS
+    }
+    return stable_digest(payload)
+
+
+@dataclass
+class StoreStats:
+    """Hit/miss counters of one :class:`ResultStore` instance."""
+
+    hits: int = 0
+    misses: int = 0
+    puts: int = 0
+
+    def to_dict(self) -> dict:
+        return {"hits": self.hits, "misses": self.misses, "puts": self.puts}
+
+
+class ResultStore:
+    """Spec-fingerprint-addressed directory of finished run envelopes.
+
+    Parameters
+    ----------
+    root:
+        Directory holding the store (created on first write).  One store may
+        be shared by many services and processes; every write is atomic.
+    """
+
+    def __init__(self, root: str | Path):
+        self.root = Path(root)
+        self.stats = StoreStats()
+
+    @property
+    def results_dir(self) -> Path:
+        return self.root / "results"
+
+    @property
+    def jobs_dir(self) -> Path:
+        return self.root / "jobs"
+
+    def _result_path(self, fingerprint: str) -> Path:
+        return self.results_dir / f"{fingerprint}.json"
+
+    # -------------------------------------------------------------- envelopes
+    def load(self, fingerprint: str) -> RunResult | None:
+        """Envelope stored under ``fingerprint`` (no hit/miss counting)."""
+        path = self._result_path(fingerprint)
+        if not path.exists():
+            return None
+        return RunResult.from_json(path.read_text())
+
+    def get(self, spec: RunSpec, fingerprint: str | None = None) -> RunResult | None:
+        """Stored result of ``spec`` (``None`` on a miss; counted either way)."""
+        result = self.load(fingerprint or spec_fingerprint(spec))
+        if result is None:
+            self.stats.misses += 1
+        else:
+            self.stats.hits += 1
+        return result
+
+    def put(self, result: RunResult, fingerprint: str | None = None) -> Path:
+        """Persist ``result`` under its spec's fingerprint, atomically."""
+        fingerprint = fingerprint or spec_fingerprint(result.spec)
+        self.stats.puts += 1
+        return atomic_write_json(self._result_path(fingerprint), result.to_dict())
+
+    def __contains__(self, spec: RunSpec) -> bool:
+        """Membership test that does not touch the hit/miss counters."""
+        return self._result_path(spec_fingerprint(spec)).exists()
+
+    def __len__(self) -> int:
+        if not self.results_dir.is_dir():
+            return 0
+        return sum(1 for _ in self.results_dir.glob("*.json"))
+
+    # ------------------------------------------------------------ job records
+    def allocate_job_id(self, fingerprint: str) -> str:
+        """Mint the next job id: a 1-based ordinal plus the spec fingerprint.
+
+        Ids sort chronologically (``job-000001-…``, ``job-000002-…``) and
+        carry enough of the fingerprint to locate the result by eye.  The id
+        is *reserved* by exclusively creating its record file, so concurrent
+        services sharing one store directory can never mint the same id and
+        overwrite each other's records (``O_EXCL`` arbitrates; losers retry
+        with the next ordinal).
+        """
+        self.jobs_dir.mkdir(parents=True, exist_ok=True)
+        index = len(list(self.jobs_dir.glob("job-*.json"))) + 1
+        while True:
+            job_id = f"job-{index:06d}-{fingerprint[:12]}"
+            try:
+                with open(self.jobs_dir / f"{job_id}.json", "x") as handle:
+                    handle.write("{}\n")  # placeholder until record_job runs
+                return job_id
+            except FileExistsError:
+                index += 1
+
+    def record_job(self, record: dict) -> Path:
+        """Persist one job record (see ``Job.to_dict``), atomically."""
+        return atomic_write_json(self.jobs_dir / f"{record['job_id']}.json", record)
+
+    def load_jobs(self) -> list[dict]:
+        """Every persisted job record, sorted by job id (= submission order)."""
+        if not self.jobs_dir.is_dir():
+            return []
+        records = []
+        for path in sorted(self.jobs_dir.glob("job-*.json")):
+            record = json.loads(path.read_text())
+            if record.get("job_id"):  # skip freshly reserved placeholders
+                records.append(record)
+        return records
+
+    def load_job(self, job_id: str) -> dict | None:
+        """One persisted job record, or ``None`` when unknown."""
+        path = self.jobs_dir / f"{job_id}.json"
+        if not path.exists():
+            return None
+        record = json.loads(path.read_text())
+        return record if record.get("job_id") else None
+
+    def events_path(self, job_id: str) -> Path:
+        return self.jobs_dir / f"{job_id}.events.ndjson"
+
+    def record_events(self, job_id: str, events) -> Path:
+        """Persist a job's full event log as NDJSON (one event per line)."""
+        lines = "".join(json.dumps(event.to_dict()) + "\n" for event in events)
+        return atomic_write_text(self.events_path(job_id), lines)

@@ -10,7 +10,11 @@ Python::
     repro compare resnet50 --layers 4 --jobs 4   # three-scheduler comparison
     repro suite --jobs 4 --cache mappings.json   # CoSA over all four networks
     repro run examples/specs/resnet50_compare.json --json
-    repro registry                               # what can plug in where
+    repro run spec.json --follow                 # stream NDJSON events live
+    repro submit spec.json                       # job into the result store
+    repro jobs                                   # list recorded jobs
+    repro result job-000001-abcdef123456         # fetch a stored envelope
+    repro registry --json                        # stable, scriptable listing
     repro networks                               # list evaluated workloads
 
 (``python -m repro.cli`` works identically when the package is not
@@ -24,7 +28,15 @@ output is the stamped :class:`~repro.api.result.RunResult` envelope
 the run came from flags or from a spec file.  All subcommands route their
 diagnostics through a single summary path: nothing is printed until the run
 is complete, so a failed run produces an error on stderr and exit code 1
-instead of a half-written report.
+instead of a half-written report.  The deliberate exception is ``run
+--follow``, which streams the job's typed events (see
+:mod:`repro.api.events`) to stdout as NDJSON while it executes.
+
+``submit`` / ``jobs`` / ``result`` are the service-side workflow: ``submit``
+executes a spec as a :class:`~repro.api.service.SchedulingService` job
+recorded in an on-disk result store (resubmitting an identical spec is a
+store hit that skips every scheduler), ``jobs`` lists the recorded jobs and
+``result`` prints a finished job's stored envelope.
 """
 
 from __future__ import annotations
@@ -49,8 +61,28 @@ from repro.api import (
 )
 
 
+#: Default root of the on-disk result store used by the service subcommands
+#: (``submit`` / ``jobs`` / ``result``); override with ``--store``.
+DEFAULT_STORE = ".repro-store"
+
+
+def _package_version() -> str:
+    """The installed distribution version, falling back to the source tree's."""
+    from importlib import metadata
+
+    try:
+        return metadata.version("cosa-repro")
+    except metadata.PackageNotFoundError:
+        from repro import __version__
+
+        return __version__
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {_package_version()}"
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     schedule = sub.add_parser("schedule", help="schedule one layer and report its cost")
@@ -96,11 +128,37 @@ def _build_parser() -> argparse.ArgumentParser:
     run = sub.add_parser("run", help="execute a declarative RunSpec from a JSON file")
     run.add_argument("spec", help="path to a spec file (see docs/api.md for the schema)")
     run.add_argument("--json", action="store_true", help="machine-readable output")
+    run.add_argument(
+        "--follow", action="store_true",
+        help="stream the job's events to stdout as NDJSON while it executes "
+        "(the final run_finished line carries the full result envelope)",
+    )
+
+    submit = sub.add_parser(
+        "submit", help="submit a RunSpec as a service job recorded in the result store"
+    )
+    submit.add_argument("spec", help="path to a spec file (see docs/api.md for the schema)")
+    submit.add_argument("--json", action="store_true", help="print the full job record")
+    _add_store_argument(submit)
+
+    jobs = sub.add_parser("jobs", help="list the jobs recorded in the result store")
+    jobs.add_argument("--json", action="store_true", help="machine-readable output")
+    _add_store_argument(jobs)
+
+    result = sub.add_parser(
+        "result", help="print the stored result envelope of a finished job"
+    )
+    result.add_argument("job_id", help="job id as printed by `repro submit` / `repro jobs`")
+    _add_store_argument(result)
 
     registry = sub.add_parser("registry", help="list the plugin registries of the public API")
     registry.add_argument(
         "axis", nargs="?", choices=sorted(ALL_REGISTRIES),
         help="only this axis (default: all four)",
+    )
+    registry.add_argument(
+        "--json", action="store_true",
+        help="sorted, stable JSON listing (axis -> name -> description)",
     )
 
     sub.add_parser("networks", help="list the evaluated DNN workloads and their layers")
@@ -130,6 +188,13 @@ def _add_engine_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--time-budget", type=float, default=None, metavar="SECONDS",
         help="per-layer wall-clock budget for the search baselines",
+    )
+
+
+def _add_store_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--store", metavar="DIR", default=DEFAULT_STORE,
+        help=f"result-store directory (default: {DEFAULT_STORE})",
     )
 
 
@@ -332,19 +397,118 @@ def _suite(args) -> int:
     return _execute(spec, args.json)
 
 
-def _run_spec_file(args) -> int:
+def _load_spec_or_fail(path) -> RunSpec | None:
     try:
-        spec = api.load_spec(args.spec)
+        return api.load_spec(path)
     except FileNotFoundError:
-        print(f"error: spec file {args.spec} does not exist", file=sys.stderr)
-        return 1
+        print(f"error: spec file {path} does not exist", file=sys.stderr)
+        return None
     except ValueError as error:
         print(f"error: {error}", file=sys.stderr)
+        return None
+
+
+def _run_spec_file(args) -> int:
+    spec = _load_spec_or_fail(args.spec)
+    if spec is None:
         return 1
+    if args.follow:
+        return _follow(spec)
     return _execute(spec, args.json)
 
 
+def _follow(spec: RunSpec) -> int:
+    """Execute ``spec`` as a service job, streaming NDJSON events to stdout."""
+    from repro.api.service import JobState, SchedulingService
+
+    def emit(event) -> None:
+        print(json.dumps(event.to_dict()), flush=True)
+
+    service = SchedulingService(max_workers=1)
+    try:
+        # Spec-resolution errors surface through the job's FAILED state (and
+        # its run_failed event), not from submit() itself.
+        job = service.submit(spec, on_event=emit)
+        job.wait()
+    finally:
+        service.shutdown(wait=False)  # daemon worker; stay Ctrl-C friendly
+    if job.state is not JobState.DONE:
+        print(f"error: {job.error}", file=sys.stderr)
+        return 1
+    return 0 if job.result().succeeded else 1
+
+
+def _submit(args) -> int:
+    from repro.api.service import JobState, SchedulingService
+
+    spec = _load_spec_or_fail(args.spec)
+    if spec is None:
+        return 1
+    service = SchedulingService(max_workers=1, store=args.store)
+    try:
+        job = service.submit(spec)
+        job.wait()
+    finally:
+        service.shutdown(wait=False)  # daemon worker; stay Ctrl-C friendly
+    record = job.to_dict()
+    if args.json:
+        print(json.dumps(record, indent=2))
+    elif job.state is JobState.DONE:
+        origin = "result store" if job.store_hit else "fresh run"
+        print(f"{job.id}  {job.state.value}  ({origin})")
+    if job.state is not JobState.DONE:
+        print(f"error: {job.error}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _jobs(args) -> int:
+    from repro.api.store import ResultStore
+
+    records = ResultStore(args.store).load_jobs()
+    if args.json:
+        print(json.dumps(records, indent=2))
+        return 0
+    if not records:
+        print(f"no jobs recorded in {args.store}")
+        return 0
+    for record in records:
+        origin = "store-hit" if record.get("store_hit") else "computed"
+        print(f"{record['job_id']}  {record['state']:<9}  {record['kind']:<8}  {origin}")
+    return 0
+
+
+def _result(args) -> int:
+    from repro.api.store import ResultStore
+
+    store = ResultStore(args.store)
+    record = store.load_job(args.job_id)
+    if record is None:
+        print(f"error: no job {args.job_id!r} recorded in {args.store}", file=sys.stderr)
+        return 1
+    result = store.load(record["spec_fingerprint"])
+    if result is None:
+        error = record.get("error") or {}
+        detail = f": {error.get('type')}: {error.get('message')}" if error else ""
+        print(
+            f"error: job {args.job_id} has no stored result "
+            f"(state: {record['state']}){detail}",
+            file=sys.stderr,
+        )
+        return 1
+    print(result.to_json())
+    return 0
+
+
 def _registry(args) -> int:
+    if args.json:
+        listing = {
+            axis: dict(sorted(registry.describe().items()))
+            for axis, registry in sorted(ALL_REGISTRIES.items())
+            if args.axis is None or axis == args.axis
+        }
+        print(json.dumps(listing, indent=2, sort_keys=True))
+        return 0
     for axis, registry in ALL_REGISTRIES.items():
         if args.axis is not None and axis != args.axis:
             continue
@@ -384,6 +548,12 @@ def main(argv=None) -> int:
         return _suite(args)
     if args.command == "run":
         return _run_spec_file(args)
+    if args.command == "submit":
+        return _submit(args)
+    if args.command == "jobs":
+        return _jobs(args)
+    if args.command == "result":
+        return _result(args)
     if args.command == "registry":
         return _registry(args)
     if args.command == "networks":

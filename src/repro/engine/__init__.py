@@ -28,6 +28,7 @@ Quickstart::
 from repro.engine.cache import CacheStats, MappingCache, cache_key
 from repro.engine.engine import (
     EngineStats,
+    LayerReport,
     NetworkSchedule,
     SchedulingEngine,
     SuiteSchedule,
@@ -39,6 +40,7 @@ __all__ = [
     "MappingCache",
     "cache_key",
     "EngineStats",
+    "LayerReport",
     "NetworkSchedule",
     "SchedulingEngine",
     "SuiteSchedule",

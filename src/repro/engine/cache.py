@@ -24,7 +24,6 @@ live in a bounded in-memory LRU and can be persisted to a JSON file (via
 from __future__ import annotations
 
 import json
-import os
 import threading
 from collections import OrderedDict
 from dataclasses import dataclass, field
@@ -33,6 +32,7 @@ from pathlib import Path
 from repro.arch.accelerator import Accelerator
 from repro.digest import stable_digest
 from repro.engine.outcome import ScheduleOutcome, Scheduler
+from repro.io_utils import atomic_write_json
 from repro.mapping.serialize import mapping_from_dict, mapping_to_dict
 from repro.workloads.layer import Layer
 
@@ -175,10 +175,11 @@ class MappingCache:
     def save(self, path: str | Path | None = None) -> Path:
         """Write every entry to ``path`` (default: the constructor path).
 
-        The write is atomic (temp file + ``os.replace``): concurrent runs
-        persisting to the same file — e.g. two parallel ``jobs>1`` engine
-        invocations sharing a cache path — can never leave a torn, unloadable
-        JSON file behind; readers see either the old or the new snapshot.
+        The write is atomic (:func:`repro.io_utils.atomic_write_json`):
+        concurrent runs persisting to the same file — e.g. two parallel
+        ``jobs>1`` engine invocations sharing a cache path — can never leave
+        a torn, unloadable JSON file behind; readers see either the old or
+        the new snapshot.
         """
         target = Path(path) if path is not None else self.path
         if target is None:
@@ -188,15 +189,7 @@ class MappingCache:
                 "version": CACHE_FORMAT_VERSION,
                 "entries": {key: entry for key, entry in self._entries.items()},
             }
-        target.parent.mkdir(parents=True, exist_ok=True)
-        temp = target.parent / f".{target.name}.{os.getpid()}.{threading.get_ident()}.tmp"
-        try:
-            temp.write_text(json.dumps(payload, indent=2) + "\n")
-            os.replace(temp, target)
-        except BaseException:
-            temp.unlink(missing_ok=True)
-            raise
-        return target
+        return atomic_write_json(target, payload)
 
     def _load(self, path: Path) -> None:
         try:

@@ -53,6 +53,30 @@ from repro.workloads.layer import Layer
 #: Supported executor kinds for ``jobs > 1``.
 EXECUTORS = ("thread", "process")
 
+#: How a layer's outcome was obtained (see :class:`LayerReport.source`).
+LAYER_SOURCES = ("solve", "cache", "dedup")
+
+
+@dataclass(frozen=True)
+class LayerReport:
+    """Progress report for one input layer of a network run.
+
+    Handed to the ``observer`` callback of :meth:`SchedulingEngine.schedule_network`
+    exactly once per input layer, **in input order** — duplicates included —
+    regardless of ``jobs`` and the executor kind, so downstream event streams
+    (see :mod:`repro.api.events`) are deterministic by construction.
+
+    ``source`` records how the outcome was obtained: a fresh ``"solve"``, a
+    mapping-``"cache"`` hit, or a ``"dedup"`` copy of an identical layer's
+    outcome earlier in the same network.
+    """
+
+    network: str
+    index: int
+    layer: Layer
+    outcome: ScheduleOutcome
+    source: str
+
 
 def _solve_one(scheduler: Scheduler, layer: Layer) -> ScheduleOutcome:
     """Module-level solve entry point (importable, hence process-pool safe)."""
@@ -281,6 +305,7 @@ class SchedulingEngine:
         jobs: int = 1,
         executor: str = "thread",
         label: str = "",
+        observer=None,
     ) -> NetworkSchedule:
         """Schedule every layer of a network.
 
@@ -297,6 +322,12 @@ class SchedulingEngine:
             the price of per-task pickling.
         label:
             Display name recorded on the returned :class:`NetworkSchedule`.
+        observer:
+            Optional progress callback, invoked with one :class:`LayerReport`
+            per input layer in input order once the layer's outcome is known
+            (the service layer turns these into ``layer_scheduled`` events).
+            Observer exceptions propagate: a broken subscriber should fail
+            the run loudly rather than silently drop events.
         """
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
@@ -321,6 +352,7 @@ class SchedulingEngine:
         resolved: dict[Layer, ScheduleOutcome] = {}
         to_solve: list[Layer] = []
         keys: dict[Layer, str] = {}
+        cached_layers: set[Layer] = set()
         for layer in unique_layers:
             if self.cache is not None:
                 keys[layer] = self._key(layer)
@@ -328,33 +360,68 @@ class SchedulingEngine:
                 if cached is not None:
                     self._attach_metrics(cached)
                     resolved[layer] = cached
+                    cached_layers.add(layer)
                     stats.cache_hits += 1
                     continue
                 stats.cache_misses += 1
             to_solve.append(layer)
 
-        for layer, outcome in zip(to_solve, self._run(to_solve, jobs, executor)):
-            self._attach_metrics(outcome)
-            if self.cache is not None:
-                self.cache.put(keys[layer], outcome)
-            resolved[layer] = outcome
         stats.solves = len(to_solve)
         stats.dedup_reuses = len(layers) - len(unique_layers)
 
+        # Walk the input order, pulling fresh solves lazily from the pool as
+        # their turn comes up.  ``to_solve`` preserves first-occurrence order
+        # and the pool yields results in submission order, so the next solve
+        # off the stream is always the layer the walk is waiting for: the
+        # observer sees every layer in input order *while later solves are
+        # still running*, and the emitted payloads are identical for any
+        # ``jobs``/executor combination.
+        solve_stream = zip(to_solve, self._run(to_solve, jobs, executor))
+        first_index = {layer: indices[0] for layer, indices in groups.items()}
         outcomes: list[ScheduleOutcome] = [None] * len(layers)  # type: ignore[list-item]
-        for layer, indices in groups.items():
-            base = resolved[layer]
-            for position, index in enumerate(indices):
-                outcomes[index] = base if position == 0 else base.with_layer(layers[index])
+        for index, layer in enumerate(layers):
+            if index != first_index[layer]:
+                source = "dedup"
+                outcomes[index] = resolved[layer].with_layer(layer)
+            elif layer in cached_layers:
+                source = "cache"
+                outcomes[index] = resolved[layer]
+            else:
+                source = "solve"
+                solved_layer, outcome = next(solve_stream)
+                assert solved_layer is layer  # both follow first-occurrence order
+                self._attach_metrics(outcome)
+                if self.cache is not None:
+                    self.cache.put(keys[layer], outcome)
+                resolved[layer] = outcome
+                outcomes[index] = outcome
+            if observer is not None:
+                observer(
+                    LayerReport(
+                        network=label,
+                        index=index,
+                        layer=layer,
+                        outcome=outcomes[index],
+                        source=source,
+                    )
+                )
         stats.wall_time_seconds = time.perf_counter() - start
         return NetworkSchedule(label=label, outcomes=outcomes, stats=stats)
 
-    def _run(self, layers: list[Layer], jobs: int, executor: str) -> list[ScheduleOutcome]:
-        """Solve ``layers`` with the configured parallelism, preserving order."""
+    def _run(self, layers: list[Layer], jobs: int, executor: str):
+        """Solve ``layers`` with the configured parallelism, yielding outcomes
+        lazily in input order.
+
+        The pools submit every task eagerly (full ``jobs`` parallelism) but
+        results are *yielded* as they arrive, so callers can stream per-layer
+        progress while later layers are still solving.
+        """
         if not layers:
-            return []
+            return
         if jobs == 1 or len(layers) == 1:
-            return [_solve_one(self.scheduler, layer) for layer in layers]
+            for layer in layers:
+                yield _solve_one(self.scheduler, layer)
+            return
         workers = min(jobs, len(layers))
         if executor == "process":
             import multiprocessing
@@ -372,9 +439,10 @@ class SchedulingEngine:
                 ) as pool:
                     # The scheduler ships once per worker via the initializer;
                     # tasks carry only their layer.
-                    return list(pool.map(_solve_in_worker, layers))
+                    yield from pool.map(_solve_in_worker, layers)
+                return
         with ThreadPoolExecutor(max_workers=workers) as pool:
-            return list(pool.map(_solve_one, [self.scheduler] * len(layers), layers))
+            yield from pool.map(_solve_one, [self.scheduler] * len(layers), layers)
 
     # ------------------------------------------------------------------- suite
     def schedule_suite(
@@ -382,6 +450,7 @@ class SchedulingEngine:
         suite: MappingT[str, Iterable[Layer]] | None = None,
         jobs: int = 1,
         executor: str = "thread",
+        observer=None,
     ) -> SuiteSchedule:
         """Schedule every network of a workload suite.
 
@@ -389,7 +458,8 @@ class SchedulingEngine:
         (:func:`repro.workloads.networks.workload_suite`).  The cache (when
         attached) is shared across the whole suite, so shapes repeated
         between networks — e.g. ResNet-50 and ResNeXt-50 share layers — are
-        solved once.
+        solved once.  ``observer`` receives one :class:`LayerReport` per
+        layer of every network, streamed network by network in suite order.
         """
         if suite is None:
             from repro.workloads.networks import workload_suite
@@ -398,6 +468,6 @@ class SchedulingEngine:
         result = SuiteSchedule()
         for name, layers in suite.items():
             result.networks[name] = self.schedule_network(
-                layers, jobs=jobs, executor=executor, label=name
+                layers, jobs=jobs, executor=executor, label=name, observer=observer
             )
         return result

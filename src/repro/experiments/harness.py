@@ -42,7 +42,16 @@ __all__ = [
 ]
 
 
+#: Symbols that already warned in this process.  The shim warns exactly
+#: once per symbol: sweeps calling a deprecated entry point per layer get
+#: one actionable notice, not thousands of duplicate lines.
+_WARNED: set[str] = set()
+
+
 def _warn(name: str) -> None:
+    if name in _WARNED:
+        return
+    _WARNED.add(name)
     warnings.warn(
         f"repro.experiments.harness.{name} is deprecated; use repro.api.{name} "
         "or repro.api.run(RunSpec(kind='compare', ...))",

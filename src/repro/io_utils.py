@@ -1,0 +1,57 @@
+"""Crash-safe file writes shared by every on-disk artifact.
+
+Both persistent stores of the repository — the mapping cache
+(:mod:`repro.engine.cache`) and the result store (:mod:`repro.api.store`) —
+persist JSON snapshots that other processes may be reading or replacing at
+the same time.  The safe recipe is the same everywhere: write the full
+payload to a uniquely named temp file in the *target's own directory* (so
+the final step never crosses a filesystem boundary), then ``os.replace`` it
+over the destination.  Readers observe either the old snapshot or the new
+one, never a torn half-write, even if the writer dies mid-write or two
+writers race on the same path.
+
+This module is that recipe, audited once:
+
+* the temp name embeds pid and thread id, so concurrent writers (processes
+  *and* threads) never collide on the scratch file;
+* the temp file is unlinked on any failure, so aborted writes leave no
+  debris behind;
+* parent directories are created on demand.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+from pathlib import Path
+
+
+def atomic_write_text(path: str | Path, text: str) -> Path:
+    """Atomically replace ``path``'s content with ``text``.
+
+    The write goes to a sibling temp file first and is published with
+    ``os.replace``, which is atomic on POSIX and Windows alike.  Returns the
+    target path.
+    """
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    temp = target.parent / f".{target.name}.{os.getpid()}.{threading.get_ident()}.tmp"
+    try:
+        temp.write_text(text)
+        os.replace(temp, target)
+    except BaseException:
+        temp.unlink(missing_ok=True)
+        raise
+    return target
+
+
+def atomic_write_json(path: str | Path, payload, indent: int | None = 2) -> Path:
+    """Serialize ``payload`` as JSON and atomically write it to ``path``.
+
+    The serialization happens *before* the file is touched, so a payload
+    that is not JSON-serializable can never corrupt an existing snapshot.
+    A trailing newline keeps the files friendly to line-based tools.
+    """
+    text = json.dumps(payload, indent=indent)
+    return atomic_write_text(path, text + "\n")

@@ -314,3 +314,73 @@ class TestEngineCLI:
         assert outcome["succeeded"] is True
         assert "loop_nest" in outcome
         assert outcome["metrics"]["latency"] > 0
+
+
+class TestLayerObserver:
+    """schedule_network/schedule_suite report one LayerReport per input
+    layer, in input order, regardless of jobs — the substrate of the
+    service's deterministic layer_scheduled events."""
+
+    def _reports(self, engine, layers, **kwargs):
+        reports = []
+        engine.schedule_network(layers, observer=reports.append, **kwargs)
+        return reports
+
+    def test_reports_in_input_order_with_sources(self, tmp_path):
+        scheduler = RandomScheduler(ARCH, num_valid=2, seed=0)
+        cache = MappingCache(path=tmp_path / "cache.json")
+        engine = SchedulingEngine(scheduler, cache=cache)
+        layers = [Layer(r=3, p=4, c=8, k=16, name="a"),
+                  Layer(r=1, p=2, c=4, k=4, name="b"),
+                  Layer(r=3, p=4, c=8, k=16, name="a2")]  # dup of "a"
+
+        cold = self._reports(engine, layers, label="net")
+        assert [r.index for r in cold] == [0, 1, 2]
+        assert [r.source for r in cold] == ["solve", "solve", "dedup"]
+        assert all(r.network == "net" for r in cold)
+        assert [r.layer.name for r in cold] == ["a", "b", "a2"]
+        assert all(r.outcome.succeeded for r in cold)
+
+        warm = self._reports(engine, layers, label="net")
+        assert [r.source for r in warm] == ["cache", "cache", "dedup"]
+
+    def test_reports_identical_under_jobs(self):
+        scheduler = RandomScheduler(ARCH, num_valid=2, seed=0)
+        engine = SchedulingEngine(scheduler)
+        layers = [Layer(r=3, p=4, c=8, k=16), Layer(r=1, p=2, c=4, k=4)]
+
+        from repro.mapping.serialize import mapping_to_dict
+
+        serial = self._reports(engine, layers, jobs=1)
+        threaded = self._reports(engine, layers, jobs=2)
+        key = lambda r: (r.index, r.source, mapping_to_dict(r.outcome.mapping))
+        assert [key(r) for r in serial] == [key(r) for r in threaded]
+
+    def test_reports_stream_between_solves(self):
+        # Progress is live: with jobs=1 the observer fires for layer N before
+        # layer N+1's solve starts, not in a batch after the whole network.
+        scheduler = RandomScheduler(ARCH, num_valid=1, seed=0)
+        engine = SchedulingEngine(scheduler)
+        trace = []
+        original = scheduler.schedule_outcome
+
+        def traced(layer):
+            trace.append(("solve", layer.name))
+            return original(layer)
+
+        scheduler.schedule_outcome = traced
+        layers = [Layer(r=1, p=2, c=4, k=4, name="a"), Layer(p=4, k=8, name="b")]
+        engine.schedule_network(
+            layers, observer=lambda r: trace.append(("report", r.layer.name))
+        )
+        assert trace == [
+            ("solve", "a"), ("report", "a"), ("solve", "b"), ("report", "b"),
+        ]
+
+    def test_suite_observer_covers_every_network(self):
+        scheduler = RandomScheduler(ARCH, num_valid=1, seed=0)
+        engine = SchedulingEngine(scheduler)
+        suite = {"one": [Layer(r=1, p=2, c=4, k=4)], "two": [Layer(p=4, k=8)]}
+        reports = []
+        engine.schedule_suite(suite, observer=reports.append)
+        assert [(r.network, r.index) for r in reports] == [("one", 0), ("two", 0)]

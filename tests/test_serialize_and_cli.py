@@ -143,3 +143,112 @@ class TestCLIFacade:
         # The same spec renders the human-readable summary without --json.
         assert cli_main(["run", str(spec_path)]) == 0
         assert "analytical latency" in capsys.readouterr().out
+
+
+class TestServiceCLI:
+    """The job-oriented subcommands: submit / jobs / result / run --follow."""
+
+    SPEC = {
+        "kind": "schedule",
+        "workload": {"layers": ["3_4_8_16_1"]},
+        "scheduler": {"name": "random", "options": {"num_valid": 2, "max_attempts": 500}},
+    }
+
+    @pytest.fixture()
+    def spec_path(self, tmp_path):
+        path = tmp_path / "spec.json"
+        path.write_text(json.dumps(self.SPEC))
+        return path
+
+    def test_version_flag(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            cli_main(["--version"])
+        assert excinfo.value.code == 0
+        assert capsys.readouterr().out.startswith("repro ")
+
+    def test_registry_json_is_sorted_and_stable(self, capsys):
+        assert cli_main(["registry", "--json"]) == 0
+        first = capsys.readouterr().out
+        assert cli_main(["registry", "--json"]) == 0
+        second = capsys.readouterr().out
+        assert first == second
+        listing = json.loads(first)
+        assert list(listing) == sorted(listing)
+        for names in listing.values():
+            assert list(names) == sorted(names)
+        assert listing["schedulers"]["cosa"]
+
+    def test_registry_json_single_axis(self, capsys):
+        assert cli_main(["registry", "platforms", "--json"]) == 0
+        listing = json.loads(capsys.readouterr().out)
+        assert list(listing) == ["platforms"]
+
+    def test_run_follow_streams_ndjson(self, capsys, spec_path):
+        assert cli_main(["run", str(spec_path), "--follow"]) == 0
+        lines = capsys.readouterr().out.splitlines()
+        events = [json.loads(line) for line in lines]
+        assert [event["event"] for event in events] == [
+            "run_queued",
+            "run_started",
+            "layer_scheduled",
+            "run_finished",
+        ]
+        assert all(event["schema_version"] == 1 for event in events)
+        # The final event carries the full v1 result envelope.
+        envelope = events[-1]["result"]
+        assert envelope["schema_version"] == 1
+        assert envelope["data"]["succeeded"] is True
+
+    def test_submit_jobs_result_workflow(self, capsys, tmp_path, spec_path):
+        store = str(tmp_path / "store")
+
+        assert cli_main(["submit", str(spec_path), "--store", store]) == 0
+        first_line = capsys.readouterr().out.strip()
+        assert "done" in first_line and "fresh run" in first_line
+        job_id = first_line.split()[0]
+
+        # Resubmission of the identical spec is a store hit.
+        assert cli_main(["submit", str(spec_path), "--store", store, "--json"]) == 0
+        record = json.loads(capsys.readouterr().out)
+        assert record["state"] == "done"
+        assert record["store_hit"] is True
+
+        assert cli_main(["jobs", "--store", store]) == 0
+        listing = capsys.readouterr().out
+        assert job_id in listing
+        assert "store-hit" in listing
+
+        assert cli_main(["jobs", "--store", store, "--json"]) == 0
+        records = json.loads(capsys.readouterr().out)
+        assert [r["store_hit"] for r in records] == [False, True]
+
+        assert cli_main(["result", job_id, "--store", store]) == 0
+        envelope = json.loads(capsys.readouterr().out)
+        assert envelope["schema_version"] == 1
+        assert envelope["data"]["outcomes"][0]["layer"] == "3_4_8_16_1"
+
+    def test_result_unknown_job_is_clean_error(self, capsys, tmp_path):
+        assert cli_main(["result", "job-000001-nope", "--store", str(tmp_path)]) == 1
+        captured = capsys.readouterr()
+        assert "no job" in captured.err
+        assert captured.out == ""
+
+    def test_submit_failed_spec_records_failure(self, capsys, tmp_path):
+        spec_path = tmp_path / "bad.json"
+        spec_path.write_text(
+            json.dumps({**self.SPEC, "scheduler": {"name": "cosaa"}})
+        )
+        store = str(tmp_path / "store")
+        assert cli_main(["submit", str(spec_path), "--store", store]) == 1
+        assert "did you mean 'cosa'" in capsys.readouterr().err
+
+        # The failed job is recorded; fetching its result is a clean error.
+        assert cli_main(["jobs", "--store", store, "--json"]) == 0
+        records = json.loads(capsys.readouterr().out)
+        assert records[0]["state"] == "failed"
+        assert cli_main(["result", records[0]["job_id"], "--store", store]) == 1
+        assert "no stored result" in capsys.readouterr().err
+
+    def test_jobs_empty_store(self, capsys, tmp_path):
+        assert cli_main(["jobs", "--store", str(tmp_path / "empty")]) == 0
+        assert "no jobs recorded" in capsys.readouterr().out
