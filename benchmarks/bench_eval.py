@@ -39,6 +39,7 @@ from repro.mapping.space import MapSpace
 from repro.model import CostModel, HAVE_NUMPY
 from repro.workloads import layer_from_name
 from repro.workloads.networks import RESNET50_LAYER_STRINGS
+from repro.workloads.problem import attention_av, attention_qk, matmul
 
 DEFAULT_OUT = Path(__file__).resolve().parent / "results" / "BENCH_eval.json"
 
@@ -53,11 +54,21 @@ QUICK_LAYERS = (
 )
 
 
-def bench_layer(arch, layer_name: str, samples: int, seed: int) -> dict:
+def _problem_layers():
+    """Non-conv tensor problems tracked alongside the ResNet-50 conv layers:
+    a BERT-style projection / FFN matmul and the two attention contractions."""
+    return (
+        matmul(m=128, n=768, k=768, name="matmul_128x768x768"),
+        matmul(m=128, n=3072, k=768, name="matmul_128x768x3072"),
+        attention_qk(seq=128, heads=12, head_dim=64, name="attn_qk_128_h12d64"),
+        attention_av(seq=128, heads=12, head_dim=64, name="attn_av_128_h12d64"),
+    )
+
+
+def bench_layer(arch, layer, samples: int, seed: int) -> dict:
     """Time both pipelines over identical candidates of one layer."""
     from repro.model.batch import BatchCostModel, MappingBatch
 
-    layer = layer_from_name(layer_name)
     space = MapSpace(layer, arch)
     draws = space.sample_batch(samples, random.Random(seed))
     mappings = [draws.materialize(i) for i in range(samples)]
@@ -87,7 +98,8 @@ def bench_layer(arch, layer_name: str, samples: int, seed: int) -> dict:
                 max_rel = max(max_rel, rel)
 
     return {
-        "layer": layer_name,
+        "layer": layer.name or layer.canonical_name,
+        "problem": layer.problem.name,
         "samples": samples,
         "num_valid": int(batch_result.num_valid),
         "scalar_mappings_per_sec": samples / scalar_seconds,
@@ -115,15 +127,17 @@ def main(argv=None) -> int:
         return 1
 
     layer_names = QUICK_LAYERS if args.quick else RESNET50_LAYER_STRINGS
+    layers = [layer_from_name(name) for name in layer_names]
+    layers.extend(_problem_layers())
     samples = args.samples or (256 if args.quick else 512)
     arch = simba_like()
 
     rows = []
-    for name in layer_names:
-        row = bench_layer(arch, name, samples, args.seed)
+    for layer in layers:
+        row = bench_layer(arch, layer, samples, args.seed)
         rows.append(row)
         print(
-            f"{row['layer']:<16} scalar {row['scalar_mappings_per_sec']:>9.0f}/s   "
+            f"{row['layer']:<20} scalar {row['scalar_mappings_per_sec']:>9.0f}/s   "
             f"batched {row['batched_mappings_per_sec']:>10.0f}/s   "
             f"speedup {row['speedup']:6.1f}x   "
             f"valid {row['num_valid']}/{row['samples']}   "
@@ -134,7 +148,7 @@ def main(argv=None) -> int:
     geomean = math.exp(sum(math.log(s) for s in speedups) / len(speedups))
     report = {
         "benchmark": "batched-mapping-evaluation",
-        "network": "resnet50",
+        "network": "resnet50+transformer",
         "arch": arch.name,
         "quick": args.quick,
         "samples_per_layer": samples,

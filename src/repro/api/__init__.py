@@ -62,8 +62,10 @@ from repro.api.registry import (
     UnknownNameError,
     architectures,
     platforms,
+    problems,
     register_architecture,
     register_platform,
+    register_problem,
     register_scheduler,
     register_workload,
     schedulers,
@@ -90,8 +92,10 @@ __all__ = [
     "UnknownNameError",
     "architectures",
     "platforms",
+    "problems",
     "register_architecture",
     "register_platform",
+    "register_problem",
     "register_scheduler",
     "register_workload",
     "schedulers",

@@ -2,9 +2,11 @@
 
 Importing :mod:`repro.api` loads this module once, populating the
 registries with everything the repository ships: the four spatial /
-GPU architecture presets, the four evaluated workloads, the five
-schedulers (CoSA, the three search baselines, CoSA-GPU) and the two
-evaluation platforms.  Heavy dependencies (scipy via the MIP backend,
+GPU architecture presets, the evaluated workloads (the paper's four DNNs
+plus the transformer-block presets), the five schedulers (CoSA, the three
+search baselines, CoSA-GPU), the two evaluation platforms and the
+tensor-problem factories (conv, matmul, depthwise/grouped conv,
+attention).  Heavy dependencies (scipy via the MIP backend,
 the NoC simulator) are imported inside the factories, so ``import
 repro.api`` stays light.
 
@@ -24,7 +26,7 @@ factories whose signature accepts them.
 
 from __future__ import annotations
 
-from repro.api.registry import architectures, platforms, schedulers, workloads
+from repro.api.registry import architectures, platforms, problems, schedulers, workloads
 
 # ----------------------------------------------------------------- schedulers
 
@@ -177,3 +179,95 @@ def _make_deepbench(batch: int = 1):
     from repro.workloads.networks import deepbench_layers
 
     return deepbench_layers(batch)
+
+
+@workloads.register(
+    "bert-base-block",
+    description="one BERT-base encoder block (matmul + attention problems, seq 128)",
+)
+def _make_bert_base_block(batch: int = 1):
+    from repro.workloads.networks import bert_base_block_layers
+
+    return bert_base_block_layers(batch)
+
+
+@workloads.register(
+    "gpt2-small-block",
+    description="one GPT-2-small decoder block (matmul + attention problems, seq 1024)",
+)
+def _make_gpt2_small_block(batch: int = 1):
+    from repro.workloads.networks import gpt2_small_block_layers
+
+    return gpt2_small_block_layers(batch)
+
+
+# ------------------------------------------------------------------- problems
+
+
+@problems.register("conv", description="7-D convolution (R/S/P/Q/C/K bounds + stride)")
+def _make_conv_problem(
+    batch: int = 1,
+    *,
+    r: int,
+    p: int,
+    c: int,
+    k: int,
+    s: int | None = None,
+    q: int | None = None,
+    stride: int = 1,
+    name: str = "",
+):
+    from repro.workloads.layer import Layer
+
+    return Layer(
+        r=r, s=s if s is not None else r,
+        p=p, q=q if q is not None else p,
+        c=c, k=k, n=batch, stride=stride, name=name,
+    )
+
+
+@problems.register("matmul", description="matrix multiplication C[m,n] = A[m,k] @ B[k,n]")
+def _make_matmul_problem(batch: int = 1, *, m: int, n: int, k: int, name: str = ""):
+    from repro.workloads.problem import matmul
+
+    return matmul(m=m, n=n, k=k, batch=batch, name=name)
+
+
+@problems.register("depthwise-conv", description="depthwise convolution (one filter per channel)")
+def _make_depthwise_problem(
+    batch: int = 1, *, r: int, p: int, c: int, stride: int = 1, name: str = ""
+):
+    from repro.workloads.problem import depthwise_conv
+
+    return depthwise_conv(r=r, p=p, c=c, stride=stride, n=batch, name=name)
+
+
+@problems.register("grouped-conv", description="grouped convolution (G independent C-to-K convs)")
+def _make_grouped_problem(
+    batch: int = 1, *, r: int, p: int, c: int, k: int, groups: int, stride: int = 1, name: str = ""
+):
+    from repro.workloads.problem import grouped_conv
+
+    return grouped_conv(r=r, p=p, c=c, k=k, groups=groups, stride=stride, n=batch, name=name)
+
+
+@problems.register("attention-qk", description="attention score contraction S = Q @ K^T")
+def _make_attention_qk_problem(
+    batch: int = 1, *, seq: int, heads: int, head_dim: int, kv_seq: int | None = None, name: str = ""
+):
+    from repro.workloads.problem import attention_qk
+
+    return attention_qk(
+        seq=seq, heads=heads, head_dim=head_dim, batch=batch, kv_seq=kv_seq, name=name
+    )
+
+
+@problems.register("attention-av", description="attention context contraction O = S @ V")
+def _make_attention_av_problem(
+    batch: int = 1, *, seq: int, heads: int, head_dim: int, kv_seq: int | None = None, name: str = ""
+):
+    from repro.workloads.problem import attention_av
+
+    return attention_av(
+        seq=seq, heads=heads, head_dim=head_dim, batch=batch, kv_seq=kv_seq, name=name
+    )

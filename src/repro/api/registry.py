@@ -16,6 +16,10 @@ scheduler      ``factory(accelerator, **options) -> Scheduler`` (the
                engine protocol of :mod:`repro.engine.outcome`)
 platform       ``factory(accelerator, metric="latency") ->
                Callable[[Mapping | None], float]`` (``inf`` = invalid)
+problem        ``factory(batch=1, **dims) -> ProblemLayer | list[ProblemLayer]``
+               (a tensor-problem template of
+               :mod:`repro.workloads.problem`, parameterized by its
+               dimension sizes)
 =============  ============================================================
 
 Lookup failures raise a :class:`UnknownNameError` (a ``KeyError``) that
@@ -136,11 +140,12 @@ class Registry:
         return f"Registry({self.axis!r}, {list(self._factories)})"
 
 
-#: The four experiment axes.
+#: The experiment axes.
 schedulers = Registry("scheduler")
 architectures = Registry("architecture")
 platforms = Registry("platform")
 workloads = Registry("workload")
+problems = Registry("problem")
 
 
 def register_scheduler(name: str, *, description: str = "", replace: bool = False):
@@ -163,10 +168,16 @@ def register_workload(name: str, *, description: str = "", replace: bool = False
     return workloads.register(name, description=description, replace=replace)
 
 
-#: All four registries keyed by axis name (used by ``repro registry``).
+def register_problem(name: str, *, description: str = "", replace: bool = False):
+    """Decorator registering a problem factory: ``f(batch=1, **dims) -> layer(s)``."""
+    return problems.register(name, description=description, replace=replace)
+
+
+#: All registries keyed by axis name (used by ``repro registry``).
 ALL_REGISTRIES: dict[str, Registry] = {
     "schedulers": schedulers,
     "architectures": architectures,
     "platforms": platforms,
     "workloads": workloads,
+    "problems": problems,
 }

@@ -25,7 +25,21 @@ from repro.api.specs import RunSpec
 #: Version of the serialized result layout.  Bump on any change to the
 #: ``data`` payload shapes or the envelope itself, and extend
 #: :meth:`RunResult.from_dict` to read the versions you still support.
-SCHEMA_VERSION = 1
+#:
+#: v2 added the tensor-problem workload axis: the spec echo may carry
+#: ``workload.problem`` / ``workload.problem_options`` and layers may belong
+#: to non-conv problems.  Runs whose resolved layers are all conv are still
+#: stamped (and emitted byte-identical to) v1 — see the carve-out notes in
+#: :func:`repro.api.runner._schema_version` (empty-workload suites now
+#: resolve the registered transformer presets and therefore stamp v2) — so
+#: v1 consumers keep working and the golden v1 envelopes stay frozen.
+SCHEMA_VERSION = 2
+
+#: The legacy conv-only envelope version.
+LEGACY_SCHEMA_VERSION = 1
+
+#: Envelope versions :meth:`RunResult.from_dict` accepts.
+SUPPORTED_SCHEMA_VERSIONS = (LEGACY_SCHEMA_VERSION, SCHEMA_VERSION)
 
 
 @dataclass
@@ -68,9 +82,10 @@ class RunResult:
         if unknown:
             raise ValueError(f"unknown key(s) {', '.join(map(repr, unknown))} in RunResult")
         version = data["schema_version"]
-        if version != SCHEMA_VERSION:
+        if version not in SUPPORTED_SCHEMA_VERSIONS:
             raise ValueError(
-                f"unsupported schema_version {version!r}; this build reads {SCHEMA_VERSION}"
+                f"unsupported schema_version {version!r}; this build reads "
+                f"{', '.join(map(str, SUPPORTED_SCHEMA_VERSIONS))}"
             )
         payload = data["data"]
         if not isinstance(payload, dict):

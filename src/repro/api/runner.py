@@ -39,8 +39,8 @@ import json
 import math
 from pathlib import Path
 
-from repro.api.registry import architectures, platforms, schedulers, workloads
-from repro.api.result import RunResult
+from repro.api.registry import architectures, platforms, problems, schedulers, workloads
+from repro.api.result import LEGACY_SCHEMA_VERSION, SCHEMA_VERSION, RunResult
 from repro.api.specs import RunSpec, WorkloadSpec
 
 #: ``RunSpec.options`` keys accepted by ``kind="compare"`` (the triple's
@@ -153,18 +153,49 @@ def _engine_observer(emit_layer, scheduler_name: str):
 
 
 def _resolve_layers(workload: WorkloadSpec) -> tuple[str, list]:
-    """Resolve a workload spec into ``(label, layers)`` via the registry."""
+    """Resolve a workload spec into ``(label, layers)`` via the registries."""
     from repro.workloads.networks import layer_from_name
 
     if workload.network is not None:
         label = workload.network
         layers = workloads.create(workload.network, batch=workload.batch)
+    elif workload.problem is not None:
+        label = workload.problem
+        # Call the factory directly (not Registry.create) so a "name" entry
+        # in problem_options cannot collide with the lookup-key parameter.
+        factory = problems.get(workload.problem)
+        built = factory(batch=workload.batch, **workload.problem_options)
+        layers = list(built) if isinstance(built, (list, tuple)) else [built]
+        # Auto-register each layer's TensorProblem for name-based lookup, so
+        # serialized mappings and cache entries of plugin problems load in
+        # this process without the author calling both register_problem APIs.
+        from repro.workloads.problem import register_problem as register_ir_problem
+
+        for layer in layers:
+            register_ir_problem(layer.problem)
     else:
         label = "custom"
         layers = [layer_from_name(name, batch=workload.batch) for name in workload.layers]
     if workload.first_layers is not None:
         layers = layers[: workload.first_layers]
     return label, layers
+
+
+def _schema_version(spec: RunSpec, layers) -> int:
+    """The envelope version to stamp: v1 unless the run touches the IR axis.
+
+    Runs whose *resolved layers* are all conv keep emitting v1 envelopes
+    (byte-identical to pre-IR builds); naming a problem in the spec or
+    resolving any non-conv tensor-problem layer upgrades to v2.  Note the
+    one legacy spec this upgrades: an empty-workload ``suite`` means *every
+    registered workload*, which now includes the transformer-block presets,
+    so such suites resolve non-conv layers and stamp v2.
+    """
+    if spec.workload.uses_problem_axis:
+        return SCHEMA_VERSION
+    if any(layer.problem.name != "conv7" for layer in layers):
+        return SCHEMA_VERSION
+    return LEGACY_SCHEMA_VERSION
 
 
 def _resolve_suite(workload: WorkloadSpec) -> dict:
@@ -266,7 +297,13 @@ def _run_schedule(spec: RunSpec, accelerator, cache, emit_layer=None) -> RunResu
         "outcomes": outcomes,
     }
     artifacts = {"accelerator": accelerator, "scheduler": scheduler, "network": network}
-    return RunResult(kind="schedule", spec=spec, data=data, artifacts=artifacts)
+    return RunResult(
+        kind="schedule",
+        spec=spec,
+        data=data,
+        artifacts=artifacts,
+        schema_version=_schema_version(spec, layers),
+    )
 
 
 def _run_compare(spec: RunSpec, accelerator, cache, emit_layer=None) -> RunResult:
@@ -332,7 +369,13 @@ def _run_compare(spec: RunSpec, accelerator, cache, emit_layer=None) -> RunResul
         **payload,
     }
     artifacts = {"accelerator": accelerator, "summary": summary}
-    return RunResult(kind="compare", spec=spec, data=data, artifacts=artifacts)
+    return RunResult(
+        kind="compare",
+        spec=spec,
+        data=data,
+        artifacts=artifacts,
+        schema_version=_schema_version(spec, layers),
+    )
 
 
 def _run_suite(spec: RunSpec, accelerator, cache, emit_layer=None) -> RunResult:
@@ -353,4 +396,11 @@ def _run_suite(spec: RunSpec, accelerator, cache, emit_layer=None) -> RunResult:
     )
     data = {"scheduler": scheduler.name, "succeeded": succeeded, **result.to_dict()}
     artifacts = {"accelerator": accelerator, "scheduler": scheduler, "suite": result}
-    return RunResult(kind="suite", spec=spec, data=data, artifacts=artifacts)
+    all_layers = [layer for layers in suite.values() for layer in layers]
+    return RunResult(
+        kind="suite",
+        spec=spec,
+        data=data,
+        artifacts=artifacts,
+        schema_version=_schema_version(spec, all_layers),
+    )

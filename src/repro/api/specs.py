@@ -83,16 +83,26 @@ class ArchSpec:
 
 @dataclass(frozen=True)
 class WorkloadSpec:
-    """The workload axis: a registered network, or explicit layer strings.
+    """The workload axis: a registered network, explicit layer strings, or a
+    tensor problem.
 
-    Exactly one of ``network`` / ``layers`` names the workload (``suite``
-    runs may leave both empty to mean *every registered workload*).
-    ``first_layers`` truncates for quick runs; ``batch`` is the batch size
-    ``N`` of every layer.
+    Exactly one of ``network`` / ``layers`` / ``problem`` names the workload
+    (``suite`` runs may leave all three empty to mean *every registered
+    workload*).  ``problem`` names an entry of the problem registry — a
+    tensor-problem template such as ``matmul`` or ``attention-qk`` — and
+    ``problem_options`` carries its dimension sizes (e.g. ``{"m": 128,
+    "n": 768, "k": 768}``).  ``first_layers`` truncates for quick runs;
+    ``batch`` is the batch size of every layer.
+
+    Serialisation note: the ``problem`` / ``problem_options`` keys are only
+    emitted when the problem axis is used, so legacy conv specs (and their
+    fingerprints and golden envelopes) are byte-identical to schema v1.
     """
 
     network: str | None = None
     layers: tuple[str, ...] = ()
+    problem: str | None = None
+    problem_options: dict = field(default_factory=dict)
     first_layers: int | None = None
     batch: int = 1
 
@@ -102,9 +112,30 @@ class WorkloadSpec:
         object.__setattr__(self, "layers", tuple(self.layers))
         for entry in self.layers:
             _check_str(entry, "WorkloadSpec.layers entries")
+        if self.problem is not None:
+            _check_str(self.problem, "WorkloadSpec.problem")
         _require(
-            not (self.network and self.layers),
-            "WorkloadSpec cannot name both a network and explicit layers",
+            isinstance(self.problem_options, dict),
+            f"WorkloadSpec.problem_options must be an object, got {self.problem_options!r}",
+        )
+        _require(
+            "batch" not in self.problem_options,
+            "WorkloadSpec.problem_options must not contain 'batch'; "
+            "set WorkloadSpec.batch instead",
+        )
+        # Detach from the caller's dict so the frozen spec (and anything
+        # keyed off it, e.g. store fingerprints) cannot change after validation.
+        object.__setattr__(self, "problem_options", dict(self.problem_options))
+        named = sum(
+            1 for used in (self.network, self.layers or None, self.problem) if used
+        )
+        _require(
+            named <= 1,
+            "WorkloadSpec must name at most one of network / layers / problem",
+        )
+        _require(
+            not (self.problem_options and self.problem is None),
+            "WorkloadSpec.problem_options requires WorkloadSpec.problem",
         )
         if self.first_layers is not None:
             _check_int(self.first_layers, "WorkloadSpec.first_layers", minimum=1)
@@ -112,22 +143,35 @@ class WorkloadSpec:
 
     @property
     def is_empty(self) -> bool:
-        """True when neither a network nor explicit layers were named."""
-        return self.network is None and not self.layers
+        """True when no network, explicit layers or problem was named."""
+        return self.network is None and not self.layers and self.problem is None
+
+    @property
+    def uses_problem_axis(self) -> bool:
+        """True when the workload is named through the problem registry."""
+        return self.problem is not None
 
     def to_dict(self) -> dict:
-        return {
+        data = {
             "network": self.network,
             "layers": list(self.layers),
             "first_layers": self.first_layers,
             "batch": self.batch,
         }
+        if self.problem is not None:
+            data["problem"] = self.problem
+            data["problem_options"] = dict(self.problem_options)
+        return data
 
     @classmethod
     def from_dict(cls, data) -> "WorkloadSpec":
         if isinstance(data, str):  # shorthand: "workload": "resnet50"
             return cls(network=data)
-        _require_keys(data, ("network", "layers", "first_layers", "batch"), "WorkloadSpec")
+        _require_keys(
+            data,
+            ("network", "layers", "problem", "problem_options", "first_layers", "batch"),
+            "WorkloadSpec",
+        )
         layers = data.get("layers") or ()
         if isinstance(layers, str):
             layers = (layers,)
@@ -138,6 +182,8 @@ class WorkloadSpec:
         return cls(
             network=data.get("network"),
             layers=tuple(layers),
+            problem=data.get("problem"),
+            problem_options=dict(data.get("problem_options") or {}),
             first_layers=data.get("first_layers"),
             batch=data.get("batch", 1),
         )

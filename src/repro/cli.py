@@ -520,12 +520,14 @@ def _registry(args) -> int:
 
 
 def _networks() -> int:
-    from repro.workloads import workload_suite
-
-    for name, layers in workload_suite().items():
+    for name in workloads.available():
+        layers = workloads.create(name)
         print(f"{name} ({len(layers)} layers)")
         for layer in layers:
-            print(f"  {layer.canonical_name}")
+            label = layer.name or layer.canonical_name
+            if label != layer.canonical_name:
+                label = f"{label} [{layer.canonical_name}]"
+            print(f"  {label}")
     return 0
 
 

@@ -1,11 +1,15 @@
 """Constant matrices of the CoSA formulation (Table IV of the paper).
 
 * ``A`` — layer-dimension x data-tensor relevance: ``A[j, v] = 1`` when loop
-  dimension ``j`` indexes tensor ``v``.  Shared with the cost model through
-  :data:`repro.workloads.layer.RELEVANCE`.
+  dimension ``j`` indexes tensor ``v``.  Derived from the workload's
+  :class:`~repro.workloads.problem.TensorProblem` projection tables (the
+  conv instantiation is :data:`~repro.workloads.problem.CONV7`).
 * ``B`` — memory-level x data-tensor storage: ``B[i, v] = 1`` when memory
   level ``i`` of the target accelerator may hold tensor ``v``.  Derived from
   the accelerator's :class:`~repro.arch.memory.MemoryHierarchy`.
+
+Every helper defaults to the conv problem so pre-IR callers keep working;
+the formulation itself passes the scheduled layer's problem explicitly.
 """
 
 from __future__ import annotations
@@ -13,15 +17,20 @@ from __future__ import annotations
 import numpy as np
 
 from repro.arch.accelerator import Accelerator
-from repro.workloads.layer import DIMENSION_NAMES, RELEVANCE, TensorKind
+from repro.workloads.layer import TensorKind
+from repro.workloads.problem import CONV7, TensorProblem
 
 
-def relevance_matrix() -> np.ndarray:
-    """The 7x3 dimension-to-tensor relevance matrix ``A`` (rows follow R,S,P,Q,C,K,N)."""
-    matrix = np.zeros((len(DIMENSION_NAMES), len(TensorKind)), dtype=int)
-    for j, dim in enumerate(DIMENSION_NAMES):
+def relevance_matrix(problem: TensorProblem = CONV7) -> np.ndarray:
+    """The (num dims)x3 dimension-to-tensor relevance matrix ``A`` of ``problem``.
+
+    Rows follow the problem's canonical dimension order (for conv:
+    R, S, P, Q, C, K, N).
+    """
+    matrix = np.zeros((len(problem.dims), len(TensorKind)), dtype=int)
+    for j, dim in enumerate(problem.dims):
         for tensor in TensorKind:
-            matrix[j, tensor.value] = RELEVANCE[dim][tensor]
+            matrix[j, tensor.value] = int(problem.relevance(dim, tensor))
     return matrix
 
 
@@ -35,11 +44,11 @@ def storage_matrix(accelerator: Accelerator) -> np.ndarray:
     return matrix
 
 
-def is_relevant(dim: str, tensor: TensorKind) -> bool:
+def is_relevant(dim: str, tensor: TensorKind, problem: TensorProblem = CONV7) -> bool:
     """``A[dim, tensor]`` as a boolean."""
-    return bool(RELEVANCE[dim][tensor])
+    return problem.relevance(dim, tensor)
 
 
-def relevant_dims(tensor: TensorKind) -> tuple[str, ...]:
+def relevant_dims(tensor: TensorKind, problem: TensorProblem = CONV7) -> tuple[str, ...]:
     """Dimensions indexing ``tensor`` (non-zero rows of column ``tensor`` of ``A``)."""
-    return tuple(dim for dim in DIMENSION_NAMES if RELEVANCE[dim][tensor])
+    return problem.relevant_dims(tensor)

@@ -86,7 +86,7 @@ def add_buffer_capacity_constraints(
                 capacity_words = 1.0
             terms = []
             for factor in variables.factors:
-                if not is_relevant(factor.dim, tensor):
+                if not is_relevant(factor.dim, tensor, variables.problem):
                     continue
                 for below in range(level_index):
                     if below in variables.temporal_levels:
@@ -154,7 +154,7 @@ def add_traffic_linking_constraints(model: MIPModel, variables: CoSAVariables) -
             relevant_here = lin_sum(
                 variables.rank[(dim, slot)]
                 for dim in variables.active_dims
-                if is_relevant(dim, tensor)
+                if is_relevant(dim, tensor, variables.problem)
             )
             model.add_constraint(
                 variables.y[(tensor, slot)] >= relevant_here,

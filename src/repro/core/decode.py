@@ -20,7 +20,7 @@ from repro.core.constants import is_relevant
 from repro.core.variables import CoSAVariables, PrimeFactor
 from repro.mapping.mapping import LevelMapping, Loop, Mapping
 from repro.solver.solution import Solution
-from repro.workloads.layer import DIMENSION_NAMES, TensorKind
+from repro.workloads.layer import TensorKind
 
 
 def _primary_tensor(variables: CoSAVariables, level_index: int) -> TensorKind | None:
@@ -37,14 +37,17 @@ def _order_inner_level(
     """Order the temporal factors of an inner level, innermost first.
 
     Loops irrelevant to the level's resident tensor come first (innermost) so
-    the resident tile stays stationary across them; ties keep the canonical
-    R,S,P,Q,C,K,N order.
+    the resident tile stays stationary across them; ties keep the problem's
+    canonical dimension order (R,S,P,Q,C,K,N for conv).
     """
     primary = _primary_tensor(variables, level_index)
-    canonical = {dim: i for i, dim in enumerate(DIMENSION_NAMES)}
+    problem = variables.problem
+    canonical = {dim: i for i, dim in enumerate(problem.dims)}
 
     def key(factor: PrimeFactor):
-        relevant = is_relevant(factor.dim, primary) if primary is not None else False
+        relevant = (
+            is_relevant(factor.dim, primary, problem) if primary is not None else False
+        )
         return (1 if relevant else 0, canonical[factor.dim], factor.ordinal)
 
     return sorted(factors, key=key)
@@ -55,7 +58,7 @@ def _dim_rank(variables: CoSAVariables, solution: Solution, dim: str) -> int:
     for slot in range(variables.num_ranks):
         if solution.rounded(variables.rank[(dim, slot)]) == 1:
             return slot
-    return variables.num_ranks + DIMENSION_NAMES.index(dim)
+    return variables.num_ranks + variables.problem.dims.index(dim)
 
 
 def decode_solution(variables: CoSAVariables, solution: Solution) -> Mapping:

@@ -89,7 +89,7 @@ def utilization_expression(variables: CoSAVariables) -> LinearExpr:
             if not level.holds(tensor):
                 continue
             for factor in variables.factors:
-                if not is_relevant(factor.dim, tensor):
+                if not is_relevant(factor.dim, tensor, variables.problem):
                     continue
                 for below in range(level_index):
                     terms.append(factor.log_value * variables.temporal_at(factor, below))
@@ -118,7 +118,7 @@ def traffic_expression(variables: CoSAVariables) -> LinearExpr:
     for tensor in TensorKind:
         # D_v: data size per transfer — relevant factors mapped below the NoC.
         for factor in variables.factors:
-            if not is_relevant(factor.dim, tensor):
+            if not is_relevant(factor.dim, tensor, variables.problem):
                 continue
             for below in range(noc_level):
                 terms.append(factor.log_value * variables.temporal_at(factor, below))
@@ -151,8 +151,9 @@ def overall_objective(
 def _log_factor_product(mapping: Mapping, tensor: TensorKind, level: int, include_spatial_at_level: bool) -> float:
     """Log of the relevant factor product below ``level`` (mirrors the MIP tile term)."""
     total = 0.0
-    for dim in mapping.layer.bounds:
-        if not is_relevant(dim, tensor):
+    problem = mapping.layer.problem
+    for dim in problem.dims:
+        if not is_relevant(dim, tensor, problem):
             continue
         below = mapping.dim_product(dim, max_level=level - 1) if level > 0 else 1
         at_level_spatial = (
@@ -182,18 +183,19 @@ def mapping_compute(mapping: Mapping) -> float:
 def mapping_traffic(mapping: Mapping, accelerator: Accelerator) -> float:
     """Eq. 11 evaluated on a finished mapping."""
     noc_level = accelerator.pe_level_index()
+    problem = mapping.layer.problem
     total = 0.0
     for tensor in TensorKind:
         # D_v: transfer size below the NoC boundary.
         total += _log_factor_product(mapping, tensor, noc_level, include_spatial_at_level=False)
         # L_v: relevant spatial fan-out at the NoC level.
         for loop in mapping.levels[noc_level].spatial:
-            if loop.relevant_to(tensor):
+            if loop.relevant_to(tensor, problem):
                 total += math.log(loop.bound)
         # T_v: outer temporal loops at-or-outside the innermost relevant loop.
         relevant_seen = False
         for _, loop in mapping.loops_above(noc_level):
-            if not relevant_seen and loop.relevant_to(tensor):
+            if not relevant_seen and loop.relevant_to(tensor, problem):
                 relevant_seen = True
             if relevant_seen:
                 total += math.log(loop.bound)

@@ -30,7 +30,7 @@ from dataclasses import dataclass
 from repro.arch.accelerator import Accelerator
 from repro.solver.expr import Variable
 from repro.solver.model import MIPModel
-from repro.workloads.layer import DIMENSION_NAMES, Layer, TensorKind
+from repro.workloads.layer import Layer, TensorKind
 from repro.workloads.prime import factorize
 
 
@@ -77,6 +77,11 @@ class CoSAVariables:
     def __init__(self, model: MIPModel, layer: Layer, accelerator: Accelerator):
         self.model = model
         self.layer = layer
+        #: The tensor-problem IR the variables are enumerated from: its
+        #: dimension order drives factor enumeration and its relevance matrix
+        #: drives the traffic variables, so the formulation generalizes to
+        #: any registered problem (matmul, depthwise, attention, ...).
+        self.problem = layer.problem
         self.accelerator = accelerator
         self.num_levels = accelerator.num_memory_levels
         self.noc_level = accelerator.pe_level_index()
@@ -90,13 +95,13 @@ class CoSAVariables:
         self.factors: list[PrimeFactor] = self._enumerate_factors(layer)
         #: Dimensions that actually have factors to place (bound > 1).
         self.active_dims: list[str] = [
-            dim for dim in DIMENSION_NAMES if layer.bound(dim) > 1
+            dim for dim in self.problem.dims if layer.bound(dim) > 1
         ]
         #: Permutation rank slots (one per active dimension).
         self.num_ranks = max(len(self.active_dims), 1)
         #: Per-dimension upper bound on the log of its NoC-boundary loop bound.
         self.dim_log_bound: dict[str, float] = {
-            dim: math.log(layer.bound(dim)) for dim in DIMENSION_NAMES
+            dim: math.log(layer.bound(dim)) for dim in self.problem.dims
         }
 
         # X matrix, split into the temporal and the spatial halves.
@@ -116,7 +121,7 @@ class CoSAVariables:
     @staticmethod
     def _enumerate_factors(layer: Layer) -> list[PrimeFactor]:
         factors: list[PrimeFactor] = []
-        for dim in DIMENSION_NAMES:
+        for dim in layer.problem.dims:
             for ordinal, prime in enumerate(factorize(layer.bound(dim))):
                 factors.append(PrimeFactor(dim=dim, value=prime, ordinal=ordinal, index=len(factors)))
         return factors

@@ -8,8 +8,11 @@ finished schedule by everything that determines it:
 ``key = sha256(layer dimensions, architecture fingerprint, scheduler name,
 scheduler config fingerprint)``
 
-* the **layer** enters with all seven loop bounds plus the stride (not just
-  the paper's ``R_P_C_K_Stride`` shorthand, which ignores the batch size),
+* the **layer** enters through :meth:`~repro.workloads.layer.Layer.key_dict`:
+  conv layers contribute all seven loop bounds plus the stride (not just the
+  paper's ``R_P_C_K_Stride`` shorthand, which ignores the batch size) in the
+  historic payload shape, so pre-IR cache files stay valid; other tensor
+  problems contribute their problem name plus every dimension bound,
 * the **architecture fingerprint** (:meth:`repro.arch.accelerator.Accelerator.fingerprint`)
   covers the memory hierarchy, PE array, NoC, precisions and energy table,
 * the **scheduler config fingerprint** covers objective weights, budgets,
@@ -57,16 +60,7 @@ def cache_key_from_parts(
     and reuse them here.
     """
     payload = {
-        "layer": {
-            "r": layer.r,
-            "s": layer.s,
-            "p": layer.p,
-            "q": layer.q,
-            "c": layer.c,
-            "k": layer.k,
-            "n": layer.n,
-            "stride": layer.stride,
-        },
+        "layer": layer.key_dict(),
         "arch": arch_fingerprint,
         "scheduler": scheduler_name,
         "config": config_fingerprint,
@@ -135,7 +129,17 @@ class MappingCache:
                 return None
             self._entries.move_to_end(key)
             self.stats.hits += 1
-        mapping = mapping_from_dict(entry["mapping"]) if entry["mapping"] is not None else None
+        try:
+            mapping = mapping_from_dict(entry["mapping"]) if entry["mapping"] is not None else None
+        except (KeyError, ValueError):
+            # Undeserializable entry — e.g. a v2 mapping whose TensorProblem
+            # is not registered in this process.  Degrade to a miss (and drop
+            # the entry) instead of crashing what should be a cache lookup.
+            with self._lock:
+                self.stats.hits -= 1
+                self.stats.misses += 1
+                self._entries.pop(key, None)
+            return None
         outcome = ScheduleOutcome(
             layer=layer if layer is not None else (mapping.layer if mapping else None),
             scheduler=entry["scheduler"],

@@ -18,7 +18,7 @@ from dataclasses import dataclass, field
 from math import prod
 from typing import Iterable, Iterator, Sequence
 
-from repro.workloads.layer import DIMENSION_NAMES, Layer, RELEVANCE, TensorKind
+from repro.workloads.layer import Layer, RELEVANCE, TensorKind
 
 
 @dataclass(frozen=True)
@@ -28,7 +28,10 @@ class Loop:
     Parameters
     ----------
     dim:
-        Layer dimension name (one of ``R, S, P, Q, C, K, N``).
+        Problem dimension name (for conv layers one of ``R, S, P, Q, C, K,
+        N``; other tensor problems bring their own dimension names).  The
+        name is validated against the layer's problem when the loop joins a
+        :class:`Mapping`.
     bound:
         Loop trip count (a factor of the layer's bound for ``dim``).
     spatial:
@@ -40,13 +43,20 @@ class Loop:
     spatial: bool = False
 
     def __post_init__(self) -> None:
-        if self.dim not in DIMENSION_NAMES:
-            raise ValueError(f"unknown dimension {self.dim!r}")
+        if not self.dim or not isinstance(self.dim, str):
+            raise ValueError(f"loop dimension must be a non-empty string, got {self.dim!r}")
         if self.bound < 1:
             raise ValueError(f"loop bound must be >= 1, got {self.bound}")
 
-    def relevant_to(self, tensor: TensorKind) -> bool:
-        """True when the loop's dimension indexes ``tensor``."""
+    def relevant_to(self, tensor: TensorKind, problem=None) -> bool:
+        """True when the loop's dimension indexes ``tensor``.
+
+        ``problem`` is the owning layer's :class:`~repro.workloads.problem.TensorProblem`;
+        without one the conv relevance table is assumed (backward
+        compatibility for conv-only callers).
+        """
+        if problem is not None:
+            return problem.relevance(self.dim, tensor)
         return bool(RELEVANCE[self.dim][tensor])
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
@@ -129,6 +139,17 @@ class Mapping:
         self.levels: tuple[LevelMapping, ...] = tuple(level_mappings)
         if not self.levels:
             raise ValueError("a mapping needs at least one level")
+        problem = layer.problem
+        known = set(problem.dims)
+        for level in self.levels:
+            for loop in level.all_loops:
+                # A loop over a foreign dimension would be silently costed as
+                # irrelevant-to-every-tensor; fail at construction instead.
+                if loop.dim not in known:
+                    raise ValueError(
+                        f"loop dimension {loop.dim!r} is not a {problem.name} "
+                        f"dimension (known: {', '.join(problem.dims)})"
+                    )
 
     # ------------------------------------------------------------- construction
     @classmethod
@@ -146,20 +167,34 @@ class Mapping:
         same for spatial loops.  ``permutations[i]`` optionally orders the
         temporal loops of level ``i`` innermost-first (dims not listed keep
         insertion order after the listed ones).
+
+        Every dimension key is validated against the layer's problem
+        dimensions — a typo or a dim from a different problem raises
+        ``KeyError`` instead of being silently dropped.
         """
+        problem = layer.problem
+        dims = problem.dims
         num_levels = len(temporal_factors)
         spatial_factors = spatial_factors or [{} for _ in range(num_levels)]
         if len(spatial_factors) != num_levels:
             raise ValueError("temporal_factors and spatial_factors must have the same length")
+        for i in range(num_levels):
+            problem.check_dims(temporal_factors[i], where=f"temporal_factors[{i}]")
+            problem.check_dims(spatial_factors[i], where=f"spatial_factors[{i}]")
+        if permutations is not None:
+            for i, permutation in enumerate(permutations):
+                problem.check_dims(
+                    (d.upper() for d in permutation), where=f"permutations[{i}]"
+                )
         level_mappings: list[LevelMapping] = []
         for i in range(num_levels):
             order: Iterable[str]
             if permutations is not None and i < len(permutations) and permutations[i]:
                 listed = [d.upper() for d in permutations[i]]
-                rest = [d for d in DIMENSION_NAMES if d not in listed]
+                rest = [d for d in dims if d not in listed]
                 order = listed + rest
             else:
-                order = DIMENSION_NAMES
+                order = dims
             temporal = [
                 Loop(dim=dim, bound=temporal_factors[i].get(dim, 1), spatial=False)
                 for dim in order

@@ -4,6 +4,14 @@ Schedules need to leave the Python process: they are cached between runs,
 checked into experiment logs, and handed to code generators.  This module
 converts a :class:`~repro.mapping.mapping.Mapping` to and from a plain
 dictionary (JSON-compatible) and provides file helpers.
+
+Two layer encodings exist:
+
+* conv layers keep the historic version-1 ``{r, s, p, q, c, k, n, stride}``
+  dict, so every pre-IR mapping file (and mapping-cache entry) still loads;
+* layers of any other registered :class:`~repro.workloads.problem.TensorProblem`
+  are written as version 2 with an explicit ``{"problem": name, "bounds":
+  {...}}`` description and resolved through the problem registry on load.
 """
 
 from __future__ import annotations
@@ -13,27 +21,25 @@ from pathlib import Path
 
 from repro.mapping.mapping import LevelMapping, Loop, Mapping
 from repro.workloads.layer import Layer
+from repro.workloads.problem import ProblemLayer, get_problem
 
-#: Schema version written into every serialised mapping.
+#: Schema version written into serialised conv mappings (legacy layout).
 FORMAT_VERSION = 1
+
+#: Schema version used for non-conv tensor-problem layers.
+PROBLEM_FORMAT_VERSION = 2
+
+#: Versions :func:`mapping_from_dict` can read.
+SUPPORTED_FORMAT_VERSIONS = (FORMAT_VERSION, PROBLEM_FORMAT_VERSION)
 
 
 def mapping_to_dict(mapping: Mapping) -> dict:
     """Convert a mapping (including its layer) to a JSON-compatible dictionary."""
     layer = mapping.layer
+    version = FORMAT_VERSION if isinstance(layer, Layer) else PROBLEM_FORMAT_VERSION
     return {
-        "version": FORMAT_VERSION,
-        "layer": {
-            "name": layer.name,
-            "r": layer.r,
-            "s": layer.s,
-            "p": layer.p,
-            "q": layer.q,
-            "c": layer.c,
-            "k": layer.k,
-            "n": layer.n,
-            "stride": layer.stride,
-        },
+        "version": version,
+        "layer": {"name": layer.name, **layer.key_dict()},
         "levels": [
             {
                 "temporal": [[loop.dim, loop.bound] for loop in level.temporal],
@@ -44,23 +50,34 @@ def mapping_to_dict(mapping: Mapping) -> dict:
     }
 
 
+def _layer_from_dict(version: int, layer_data: dict):
+    if version == FORMAT_VERSION:
+        return Layer(
+            r=layer_data["r"],
+            s=layer_data["s"],
+            p=layer_data["p"],
+            q=layer_data["q"],
+            c=layer_data["c"],
+            k=layer_data["k"],
+            n=layer_data["n"],
+            stride=layer_data["stride"],
+            name=layer_data.get("name", ""),
+        )
+    problem = get_problem(layer_data["problem"])
+    return ProblemLayer(
+        problem=problem,
+        dim_bounds=tuple(int(layer_data["bounds"][dim]) for dim in problem.dims),
+        stride=layer_data.get("stride", 1),
+        name=layer_data.get("name", ""),
+    )
+
+
 def mapping_from_dict(data: dict) -> Mapping:
     """Rebuild a mapping from :func:`mapping_to_dict` output."""
     version = data.get("version")
-    if version != FORMAT_VERSION:
+    if version not in SUPPORTED_FORMAT_VERSIONS:
         raise ValueError(f"unsupported mapping format version {version!r}")
-    layer_data = data["layer"]
-    layer = Layer(
-        r=layer_data["r"],
-        s=layer_data["s"],
-        p=layer_data["p"],
-        q=layer_data["q"],
-        c=layer_data["c"],
-        k=layer_data["k"],
-        n=layer_data["n"],
-        stride=layer_data["stride"],
-        name=layer_data.get("name", ""),
-    )
+    layer = _layer_from_dict(version, data["layer"])
     levels = []
     for level_data in data["levels"]:
         levels.append(
@@ -72,6 +89,9 @@ def mapping_from_dict(data: dict) -> Mapping:
                 ],
             )
         )
+    # Mapping() validates every loop dim against the layer's problem, so a
+    # corrupted / hand-edited file fails at load instead of being silently
+    # costed as irrelevant-to-every-tensor loops.
     return Mapping(layer, levels)
 
 

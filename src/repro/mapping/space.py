@@ -18,7 +18,7 @@ from dataclasses import dataclass, field
 
 from repro.arch.accelerator import Accelerator
 from repro.mapping.mapping import LevelMapping, Loop, Mapping
-from repro.workloads.layer import DIMENSION_NAMES, Layer
+from repro.workloads.layer import Layer
 from repro.workloads.prime import count_factorizations, factorize
 
 #: A drawn loop before materialization: ``(dimension name, bound)``.
@@ -108,6 +108,7 @@ class MapSpace:
             i: accelerator.hierarchy[i].spatial_fanout
             for i in accelerator.hierarchy.spatial_levels()
         }
+        self._dims = layer.problem.dims
         self._prime_factors = {dim: factorize(bound) for dim, bound in layer.bounds.items()}
 
     # ------------------------------------------------------------------- sizes
@@ -145,7 +146,7 @@ class MapSpace:
         slots: list[tuple[int, bool]] = [(i, False) for i in range(self.num_levels)]
         slots += [(i, True) for i in self._spatial_levels]
 
-        for dim in DIMENSION_NAMES:
+        for dim in self._dims:
             for prime in self._prime_factors[dim]:
                 placed = False
                 for _ in range(8):

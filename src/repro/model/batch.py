@@ -50,13 +50,15 @@ except ImportError:  # pragma: no cover
 
 from repro.arch.accelerator import Accelerator
 from repro.mapping.mapping import Mapping
-from repro.model.nest import REDUCTION_DIMS
-from repro.workloads.layer import DIMENSION_NAMES, Layer, RELEVANCE, TensorKind
+from repro.workloads.layer import DIMENSION_NAMES, Layer, TensorKind
+from repro.workloads.problem import TensorProblem
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.mapping.space import MappingDraws
 
-#: Column index of each layer dimension in the factor matrices.
+#: Column index of each conv layer dimension in the factor matrices (kept for
+#: backward compatibility; the general per-problem index lives on
+#: :class:`_ProblemTables`).
 DIM_INDEX: dict[str, int] = {dim: i for i, dim in enumerate(DIMENSION_NAMES)}
 
 #: Padding sentinel used in the flattened loop arrays.
@@ -151,7 +153,8 @@ class MappingBatch:
     @classmethod
     def _from_level_loops(cls, layer, num_levels, temporal_loops, spatial_loops, source):
         size = len(temporal_loops)
-        D = len(DIMENSION_NAMES)
+        dim_index = {dim: i for i, dim in enumerate(layer.problem.dims)}
+        D = len(dim_index)
         tf = np.ones((size, num_levels, D), dtype=np.float64)
         sf = np.ones((size, num_levels, D), dtype=np.float64)
         max_loops = 1
@@ -166,7 +169,7 @@ class MappingBatch:
             cursor = 0
             for level_index, loops in enumerate(temporal_loops[b]):
                 for dim, bound in loops:
-                    d = DIM_INDEX[dim]
+                    d = dim_index[dim]
                     tf[b, level_index, d] *= bound
                     loop_level[b, cursor] = level_index
                     loop_dim[b, cursor] = d
@@ -174,7 +177,7 @@ class MappingBatch:
                     cursor += 1
             for level_index, loops in enumerate(spatial_loops[b]):
                 for dim, bound in loops:
-                    sf[b, level_index, DIM_INDEX[dim]] *= bound
+                    sf[b, level_index, dim_index[dim]] *= bound
         return cls(layer, tf, sf, loop_level, loop_dim, loop_bound, source=source)
 
     # ----------------------------------------------------------- materialization
@@ -191,13 +194,48 @@ class MappingBatch:
         return self._source.materialize(index)
 
 
-def _relevance_matrix():
-    """``int8[D, T]`` copy of the RELEVANCE table (loop dim -> tensor)."""
-    rel = np.zeros((len(DIMENSION_NAMES), len(TensorKind)), dtype=bool)
-    for dim, row in RELEVANCE.items():
-        for tensor, flag in row.items():
-            rel[DIM_INDEX[dim], int(tensor)] = bool(flag)
-    return rel
+class _ProblemTables:
+    """Problem-dependent constants of the vectorized model.
+
+    One instance per :class:`~repro.workloads.problem.TensorProblem` (cached
+    on the :class:`BatchCostModel`): the dimension index of the factor
+    matrices, the ``bool[D, T]`` relevance matrix derived from the projection
+    tables, the per-tensor irrelevant-dimension masks used by the multicast /
+    spatial-reduction factors, and the reduction-dimension index list.
+    """
+
+    def __init__(self, problem: TensorProblem):
+        self.problem = problem
+        self.dims = problem.dims
+        self.dim_index = {dim: i for i, dim in enumerate(problem.dims)}
+        rel = np.zeros((len(problem.dims), len(TensorKind)), dtype=bool)
+        for dim in problem.dims:
+            for tensor in TensorKind:
+                rel[self.dim_index[dim], int(tensor)] = problem.relevance(dim, tensor)
+        self.rel = rel
+        self.irrelevant_dims = {tensor: ~rel[:, int(tensor)] for tensor in TensorKind}
+        self.reduction_dim_indices = np.array(
+            [self.dim_index[dim] for dim in problem.reduction_dims], dtype=np.int64
+        )
+
+    def tiles(self, f: dict, stride: float) -> dict:
+        """Per-tensor footprint matrices from the projection tables.
+
+        ``f`` maps dimension name to its ``[B, L]`` footprint matrix.
+        :meth:`TensorProblem.footprint` multiplies the terms left-associated
+        in projection order — the exact float expression structure of the
+        scalar model, so conv results stay bit-for-bit identical to the
+        historic hardcoded formulas.
+        """
+        tiles = {}
+        for tensor in TensorKind:
+            value = self.problem.footprint(tensor, f, stride)
+            if len(self.problem.projection(tensor)) == 1:
+                # A single plain-dim term aliases the footprint matrix; the
+                # caller mutates tiles in place, so detach the view.
+                value = value.copy()
+            tiles[tensor] = value
+        return tiles
 
 
 @dataclass
@@ -253,7 +291,8 @@ class BatchCostModel:
         self.num_levels = len(hierarchy)
         self.dram_index = hierarchy.dram_index
         self.pe_level = accelerator.pe_level_index()
-        self._rel = _relevance_matrix()
+        #: Problem-dependent constants, computed once per tensor problem.
+        self._problem_tables: dict[str, _ProblemTables] = {}
         # Per-level constants.
         self._fanout = np.array([level.spatial_fanout for level in hierarchy], dtype=np.float64)
         self._capacity = np.array(
@@ -278,11 +317,6 @@ class BatchCostModel:
             for child, parent in zip(levels, levels[1:]):
                 self._flow_pairs.append((tensor, child, parent))
         self._innermost = {tensor: hierarchy.innermost_level_for(tensor) for tensor in TensorKind}
-        # Relevance-filtered spatial dimension masks used by the multicast /
-        # spatial-reduction factor (True where the dim is (ir)relevant).
-        self._irrelevant_dims = {
-            tensor: ~self._rel[:, int(tensor)] for tensor in TensorKind
-        }
         self._multicast = accelerator.noc.multicast
         # Energy constants.
         table = accelerator.energy
@@ -292,12 +326,17 @@ class BatchCostModel:
         rows, cols = accelerator.pe_array.rows, accelerator.pe_array.cols
         self._average_hops = (rows + cols) / 2.0
         self._total_lanes = accelerator.pe_array.num_pes * accelerator.pe_array.macs_per_pe
-        self._reduction_dim_indices = np.array(
-            [DIM_INDEX[dim] for dim in REDUCTION_DIMS], dtype=np.int64
-        )
 
     # ------------------------------------------------------------------ helpers
-    def _refetch_and_pending(self, batch: MappingBatch):
+    def _tables(self, problem: TensorProblem) -> _ProblemTables:
+        """The cached problem-dependent constant tables for ``problem``."""
+        tables = self._problem_tables.get(problem.name)
+        if tables is None or tables.problem != problem:
+            tables = _ProblemTables(problem)
+            self._problem_tables[problem.name] = tables
+        return tables
+
+    def _refetch_and_pending(self, batch: MappingBatch, tables: _ProblemTables):
         """Per-candidate re-fetch factors and pending-reduction flags.
 
         Returns ``refetch[(tensor, child)] -> float64[B]`` for every boundary
@@ -314,8 +353,8 @@ class BatchCostModel:
         B, M = level.shape
         present = dim >= 0
         dim_safe = np.where(present, dim, 0)
-        rel = self._rel[dim_safe]  # [B, M, T]
-        is_reduction = np.isin(dim_safe, self._reduction_dim_indices) & present
+        rel = tables.rel[dim_safe]  # [B, M, T]
+        is_reduction = np.isin(dim_safe, tables.reduction_dim_indices) & present
 
         refetch: dict[tuple[TensorKind, int], np.ndarray] = {}
         pending: dict[int, np.ndarray] = {}
@@ -342,9 +381,11 @@ class BatchCostModel:
             pending[child] = np.any(seen_before & mask & is_reduction, axis=1)
         return refetch, pending
 
-    def _spatial_factor_between(self, sf, child: int, parent: int, tensor: TensorKind):
+    def _spatial_factor_between(
+        self, sf, child: int, parent: int, tensor: TensorKind, tables: _ProblemTables
+    ):
         """Product of tensor-irrelevant spatial factors at levels ``(child, parent]``."""
-        dims = self._irrelevant_dims[tensor]
+        dims = tables.irrelevant_dims[tensor]
         span = sf[:, child + 1 : parent + 1, :][:, :, dims]
         return span.reshape(span.shape[0], -1).prod(axis=1)
 
@@ -352,9 +393,10 @@ class BatchCostModel:
     def evaluate_batch(self, batch: MappingBatch) -> BatchCostResult:
         """Validate and evaluate every candidate of ``batch`` at once."""
         layer = batch.layer
+        tables = self._tables(layer.problem)
         B = batch.size
         tf, sf = batch.temporal, batch.spatial
-        L, D = self.num_levels, len(DIMENSION_NAMES)
+        L, D = self.num_levels, len(tables.dims)
 
         if batch.num_levels != self.num_levels:
             inf = np.full(B, np.inf)
@@ -365,7 +407,8 @@ class BatchCostModel:
                 utilization=np.zeros(B),
             )
 
-        bounds = np.array([layer.bounds[dim] for dim in DIMENSION_NAMES], dtype=np.float64)
+        layer_bounds = layer.bounds
+        bounds = np.array([layer_bounds[dim] for dim in tables.dims], dtype=np.float64)
         total = tf * sf  # per-level per-dim factor products
 
         # -------------------------------------------------------- validation
@@ -383,13 +426,8 @@ class BatchCostModel:
         footprint = below * sf
 
         stride = float(layer.stride)
-        f = {dim: footprint[:, :, DIM_INDEX[dim]] for dim in DIMENSION_NAMES}
-        tiles = {}
-        tiles[TensorKind.WEIGHT] = f["R"] * f["S"] * f["C"] * f["K"]
-        tiles[TensorKind.OUTPUT] = f["P"] * f["Q"] * f["K"] * f["N"]
-        width = (f["P"] - 1.0) * stride + f["R"]
-        height = (f["Q"] - 1.0) * stride + f["S"]
-        tiles[TensorKind.INPUT] = width * height * f["C"] * f["N"]
+        f = {dim: footprint[:, :, tables.dim_index[dim]] for dim in tables.dims}
+        tiles = tables.tiles(f, stride)
         for tensor in TensorKind:
             tile = tiles[tensor]
             tile[:, ~self._holds[tensor]] = 0.0
@@ -405,7 +443,7 @@ class BatchCostModel:
         valid = consistent & fanout_ok & buffers_ok
 
         # --------------------------------------------------- boundary flows
-        refetch, pending = self._refetch_and_pending(batch)
+        refetch, pending = self._refetch_and_pending(batch, tables)
         # active_instances(l): product of spatial factors at levels > l.
         instances = np.ones((B, L), dtype=np.float64)
         if L > 1:
@@ -424,7 +462,7 @@ class BatchCostModel:
             t = int(tensor)
             tile = tiles[tensor][:, child]
             words_into_child = tile * refetch[(tensor, child)] * instances[:, child]
-            raw_lanes = self._spatial_factor_between(sf, child, parent, tensor)
+            raw_lanes = self._spatial_factor_between(sf, child, parent, tensor, tables)
             multicast = raw_lanes if self._multicast else np.ones(B, dtype=np.float64)
             words_read_from_parent = words_into_child / np.maximum(multicast, 1.0)
             words_written_to_parent = np.zeros(B, dtype=np.float64)

@@ -34,9 +34,10 @@ from math import prod
 
 from repro.arch.accelerator import Accelerator
 from repro.mapping.mapping import Mapping
-from repro.workloads.layer import RELEVANCE, TensorKind
+from repro.workloads.layer import TensorKind
 
-#: Reduction dimensions: loops over these produce partial sums for the output.
+#: Conv reduction dimensions, kept for backward compatibility.  The analysis
+#: itself reads ``problem.reduction_dims`` from the layer's tensor-problem IR.
 REDUCTION_DIMS: tuple[str, ...] = ("R", "S", "C")
 
 
@@ -88,6 +89,7 @@ class NestAnalysis:
         self.mapping = mapping
         self.accelerator = accelerator
         self.layer = mapping.layer
+        self.problem = self.layer.problem
         self.hierarchy = accelerator.hierarchy
 
     # ------------------------------------------------------------------ tiles
@@ -107,14 +109,8 @@ class NestAnalysis:
             return 0.0
         if level == self.hierarchy.dram_index:
             return float(self.layer.tensor_volume(tensor))
-        footprint = {dim: self._dim_footprint_below(dim, level) for dim in RELEVANCE}
-        if tensor is TensorKind.WEIGHT:
-            return float(footprint["R"] * footprint["S"] * footprint["C"] * footprint["K"])
-        if tensor is TensorKind.OUTPUT:
-            return float(footprint["P"] * footprint["Q"] * footprint["K"] * footprint["N"])
-        width = (footprint["P"] - 1) * self.layer.stride + footprint["R"]
-        height = (footprint["Q"] - 1) * self.layer.stride + footprint["S"]
-        return float(width * height * footprint["C"] * footprint["N"])
+        footprint = {dim: self._dim_footprint_below(dim, level) for dim in self.problem.dims}
+        return float(self.problem.footprint(tensor, footprint, self.layer.stride))
 
     def tile_bytes(self, tensor: TensorKind, level: int) -> float:
         """Bytes of ``tensor`` resident in one instance of storage ``level``."""
@@ -156,7 +152,7 @@ class NestAnalysis:
         relevant_seen = False
         factor = 1.0
         for _, loop in loops:
-            if not relevant_seen and loop.relevant_to(tensor):
+            if not relevant_seen and loop.relevant_to(tensor, self.problem):
                 relevant_seen = True
             if relevant_seen:
                 factor *= loop.bound
@@ -174,7 +170,7 @@ class NestAnalysis:
         total = 1
         for j in range(child + 1, parent + 1):
             for loop in self.mapping.levels[j].spatial:
-                if loop.relevant_to(relevant_to) == relevant:
+                if loop.relevant_to(relevant_to, self.problem) == relevant:
                     total *= loop.bound
         return total
 
@@ -183,12 +179,13 @@ class NestAnalysis:
         output-relevant loop at levels ``>= level`` (outputs crossing this boundary
         are partial sums)."""
         loops = self.mapping.loops_above(level)
+        reduction_dims = self.problem.reduction_dims
         relevant_seen = False
         for _, loop in loops:
-            if not relevant_seen and loop.relevant_to(TensorKind.OUTPUT):
+            if not relevant_seen and loop.relevant_to(TensorKind.OUTPUT, self.problem):
                 relevant_seen = True
                 continue
-            if relevant_seen and loop.dim in REDUCTION_DIMS:
+            if relevant_seen and loop.dim in reduction_dims:
                 return True
         return False
 

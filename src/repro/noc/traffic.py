@@ -21,7 +21,7 @@ from math import prod
 
 from repro.arch.accelerator import Accelerator
 from repro.mapping.mapping import Loop, Mapping
-from repro.model.nest import NestAnalysis, REDUCTION_DIMS
+from repro.model.nest import NestAnalysis
 from repro.noc.packet import Packet, TrafficDirection
 from repro.workloads.layer import TensorKind
 
@@ -54,6 +54,7 @@ class TrafficGenerator:
     def __init__(self, mapping: Mapping, accelerator: Accelerator):
         self.mapping = mapping
         self.accelerator = accelerator
+        self.problem = mapping.layer.problem
         self.analysis = NestAnalysis(mapping, accelerator)
         self.noc_level = accelerator.pe_level_index()
 
@@ -86,7 +87,7 @@ class TrafficGenerator:
             key = tuple(
                 index
                 for index, loop in zip(indices, self.spatial_loops)
-                if loop.relevant_to(tensor)
+                if loop.relevant_to(tensor, self.problem)
             )
             groups.setdefault(key, []).append(pe_id)
         return [tuple(members) for members in groups.values()]
@@ -123,7 +124,7 @@ class TrafficGenerator:
 
     def _innermost_relevant_position(self, tensor: TensorKind) -> int | None:
         for position, loop in enumerate(self.outer_loops):
-            if loop.relevant_to(tensor):
+            if loop.relevant_to(tensor, self.problem):
                 return position
         return None
 

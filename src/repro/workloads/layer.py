@@ -1,6 +1,6 @@
-"""DNN layer specification.
+"""DNN layer specification (the conv instantiation of the tensor-problem IR).
 
-The CoSA problem space is the 7-dimensional loop nest
+The CoSA problem space of the paper is the 7-dimensional loop nest
 
 .. code-block:: text
 
@@ -14,6 +14,15 @@ The CoSA problem space is the 7-dimensional loop nest
 A :class:`Layer` captures the bounds plus the stride, and exposes the derived
 quantities used by the cost models (input width/height, tensor volumes, MAC
 count) and by the scheduler (per-dimension prime factors).
+
+Since the tensor-problem IR landed (:mod:`repro.workloads.problem`) a layer
+is one *instance* of the :data:`~repro.workloads.problem.CONV7` problem:
+:attr:`Layer.problem` exposes the IR description, and the conv constants in
+this module (:data:`DIMENSION_NAMES`, :data:`RELEVANCE`) are retained as the
+conv-specific views of it for backward compatibility.  Non-conv operators
+(matmul, depthwise/grouped conv, attention) are built directly as
+:class:`~repro.workloads.problem.ProblemLayer` objects via the constructors
+in :mod:`repro.workloads.problem` and flow through the same pipeline.
 """
 
 from __future__ import annotations
@@ -102,6 +111,31 @@ class Layer:
         if self.stride < 1:
             raise ValueError(f"stride must be >= 1, got {self.stride}")
 
+    # --------------------------------------------------------------- IR view
+    @property
+    def problem(self):
+        """The tensor-problem IR description of a convolution (:data:`CONV7`)."""
+        from repro.workloads.problem import CONV7
+
+        return CONV7
+
+    def key_dict(self) -> dict:
+        """Content-hash payload for mapping-cache keys and serialization.
+
+        Keeps the historic ``{r, s, p, q, c, k, n, stride}`` shape so cache
+        keys and serialized conv mappings are unchanged by the IR refactor.
+        """
+        return {
+            "r": self.r,
+            "s": self.s,
+            "p": self.p,
+            "q": self.q,
+            "c": self.c,
+            "k": self.k,
+            "n": self.n,
+            "stride": self.stride,
+        }
+
     # ------------------------------------------------------------------ sizes
     @property
     def bounds(self) -> dict[str, int]:
@@ -131,12 +165,13 @@ class Layer:
         return prod(self.bounds.values())
 
     def tensor_volume(self, tensor: TensorKind) -> int:
-        """Number of elements of ``tensor`` touched by the layer."""
-        if tensor is TensorKind.WEIGHT:
-            return self.r * self.s * self.c * self.k
-        if tensor is TensorKind.INPUT:
-            return self.n * self.c * self.input_width * self.input_height
-        return self.n * self.k * self.p * self.q
+        """Number of elements of ``tensor`` touched by the layer.
+
+        Evaluated through the :data:`CONV7` projection tables (integer
+        arithmetic, so the values are exactly the historic closed forms:
+        ``R*S*C*K`` weights, ``N*C*W*H`` inputs, ``N*K*P*Q`` outputs).
+        """
+        return int(self.problem.footprint(tensor, self.bounds, self.stride))
 
     @property
     def total_data_volume(self) -> int:
@@ -184,15 +219,28 @@ class Layer:
         )
 
 
-def matmul_layer(m: int, n: int, k: int, batch: int = 1, name: str = "") -> Layer:
-    """Build a :class:`Layer` describing the matmul ``C[m,n] = A[m,k] @ B[k,n]``.
+def matmul_layer(m: int, n: int, k: int, batch: int = 1, name: str = ""):
+    """Deprecated: build a matmul operator (use :func:`repro.workloads.problem.matmul`).
 
-    The mapping onto the convolution dimensions follows the paper: the
-    reduction dimension becomes the input-channel dimension ``C``, the output
-    columns become output channels ``K`` and the output rows become the output
-    width ``P`` (with ``Q = 1``).
+    Historically this aliased the matmul dimensions onto conv's R/S/P/Q
+    (reduction as ``C``, output columns as ``K``, output rows as ``P``).  The
+    tensor-problem IR describes matmul natively; this shim now returns the
+    real :class:`~repro.workloads.problem.ProblemLayer` built by
+    :func:`repro.workloads.problem.matmul` and will be removed in a future
+    release.
     """
-    return Layer(r=1, s=1, p=m, q=1, c=k, k=n, n=batch, stride=1, name=name or f"matmul_{m}x{k}x{n}")
+    import warnings
+
+    from repro.workloads.problem import matmul
+
+    warnings.warn(
+        "matmul_layer() is deprecated; use repro.workloads.problem.matmul(), "
+        "which builds a first-class matmul TensorProblem instead of aliasing "
+        "matmul dimensions onto the conv nest",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return matmul(m=m, n=n, k=k, batch=batch, name=name)
 
 
 def conv_layer(

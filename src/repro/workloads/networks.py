@@ -16,6 +16,7 @@ callers can mutate-by-replacement without affecting the module tables.
 from __future__ import annotations
 
 from repro.workloads.layer import Layer, conv_layer
+from repro.workloads.problem import ProblemLayer, attention_av, attention_qk, matmul
 
 #: ``R_P_C_K_Stride`` strings, in the order they appear on the paper's x-axes.
 ALEXNET_LAYER_STRINGS: tuple[str, ...] = (
@@ -153,6 +154,54 @@ def deepbench_layers(batch: int = 1) -> list[Layer]:
 def workload_suite(batch: int = 1) -> dict[str, list[Layer]]:
     """All four evaluated workloads keyed by network id, in paper order."""
     return {network: _layers_for(network, batch) for network in _NETWORK_TABLES}
+
+
+# -- Transformer-block presets (tensor-problem IR workloads) ------------------
+
+def transformer_block_layers(
+    seq: int,
+    hidden: int,
+    heads: int,
+    ffn: int,
+    batch: int = 1,
+    prefix: str = "block",
+) -> list[ProblemLayer]:
+    """One transformer encoder/decoder block as a network of tensor problems.
+
+    Eight operators: the Q/K/V projections (three identical matmuls — the
+    engine de-duplicates them into one solve), the two attention
+    contractions, the output projection and the two FFN matmuls.  All are
+    first-class :class:`~repro.workloads.problem.ProblemLayer` objects, so
+    every scheduler (including CoSA's MIP path) and the batched cost model
+    consume them natively.
+    """
+    if hidden % heads != 0:
+        raise ValueError(f"hidden size {hidden} is not divisible by {heads} heads")
+    head_dim = hidden // heads
+    return [
+        matmul(m=seq, n=hidden, k=hidden, batch=batch, name=f"{prefix}_q_proj"),
+        matmul(m=seq, n=hidden, k=hidden, batch=batch, name=f"{prefix}_k_proj"),
+        matmul(m=seq, n=hidden, k=hidden, batch=batch, name=f"{prefix}_v_proj"),
+        attention_qk(seq=seq, heads=heads, head_dim=head_dim, batch=batch, name=f"{prefix}_attn_qk"),
+        attention_av(seq=seq, heads=heads, head_dim=head_dim, batch=batch, name=f"{prefix}_attn_av"),
+        matmul(m=seq, n=hidden, k=hidden, batch=batch, name=f"{prefix}_out_proj"),
+        matmul(m=seq, n=ffn, k=hidden, batch=batch, name=f"{prefix}_ffn_up"),
+        matmul(m=seq, n=hidden, k=ffn, batch=batch, name=f"{prefix}_ffn_down"),
+    ]
+
+
+def bert_base_block_layers(batch: int = 1, seq: int = 128) -> list[ProblemLayer]:
+    """One BERT-base encoder block (hidden 768, 12 heads, FFN 3072, seq 128)."""
+    return transformer_block_layers(
+        seq=seq, hidden=768, heads=12, ffn=3072, batch=batch, prefix="bert_base"
+    )
+
+
+def gpt2_small_block_layers(batch: int = 1, seq: int = 1024) -> list[ProblemLayer]:
+    """One GPT-2-small decoder block (hidden 768, 12 heads, FFN 3072, seq 1024)."""
+    return transformer_block_layers(
+        seq=seq, hidden=768, heads=12, ffn=3072, batch=batch, prefix="gpt2_small"
+    )
 
 
 # -- Layers used by the motivation / ablation figures ------------------------

@@ -160,8 +160,16 @@ class TestSpecParsing:
             RunSpec.from_dict({"kind": "schedule"})
 
     def test_workload_network_and_layers_conflict(self):
-        with pytest.raises(ValueError, match="both a network and explicit layers"):
+        with pytest.raises(ValueError, match="at most one of network / layers / problem"):
             WorkloadSpec(network="alexnet", layers=("1_1_4_4_1",))
+
+    def test_workload_network_and_problem_conflict(self):
+        with pytest.raises(ValueError, match="at most one of network / layers / problem"):
+            WorkloadSpec(network="alexnet", problem="matmul")
+
+    def test_problem_options_require_problem(self):
+        with pytest.raises(ValueError, match="problem_options requires"):
+            WorkloadSpec(problem_options={"m": 4})
 
     def test_type_errors_are_actionable(self):
         with pytest.raises(ValueError, match="EngineSpec.jobs must be an integer"):

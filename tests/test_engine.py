@@ -296,10 +296,19 @@ class TestEngineCLI:
         code = cli_main(["suite", "--scheduler", "random", "--layers", "1", "--json"])
         envelope = json.loads(capsys.readouterr().out)
         assert code == 0
-        assert envelope["schema_version"] == 1
+        # An empty-workload suite covers every registered workload, which now
+        # includes the transformer-block presets — non-conv problems stamp v2.
+        assert envelope["schema_version"] == 2
         data = envelope["data"]
-        assert set(data["networks"]) == {"alexnet", "resnet50", "resnext50", "deepbench"}
-        assert data["stats"]["num_layers"] == 4
+        assert {
+            "alexnet",
+            "resnet50",
+            "resnext50",
+            "deepbench",
+            "bert-base-block",
+            "gpt2-small-block",
+        } == set(data["networks"])
+        assert data["stats"]["num_layers"] == 6
 
     def test_schedule_json_output(self, capsys):
         from repro.cli import main as cli_main

@@ -16,10 +16,20 @@ from repro.workloads.networks import listing1_layer
 
 class TestLoop:
     def test_validation(self):
+        # Dim names are problem-specific since the tensor-problem IR landed:
+        # arbitrary names are allowed on the Loop itself and validated when a
+        # mapping is built against a layer (see test_from_factors_unknown_dim).
         with pytest.raises(ValueError):
-            Loop(dim="Z", bound=2)
+            Loop(dim="", bound=2)
         with pytest.raises(ValueError):
             Loop(dim="K", bound=0)
+
+    def test_from_factors_unknown_dim(self):
+        layer = Layer(r=1, s=1, p=4, q=4, c=4, k=4, n=1)
+        with pytest.raises(KeyError, match="unknown conv7 dimension"):
+            Mapping.from_factors(layer, temporal_factors=[{"Z": 4}])
+        with pytest.raises(KeyError, match="spatial_factors"):
+            Mapping.from_factors(layer, temporal_factors=[{}], spatial_factors=[{"M": 2}])
 
     def test_relevance(self):
         assert Loop("K", 2).relevant_to(TensorKind.WEIGHT)

@@ -118,9 +118,13 @@ class TestLayer:
         assert layer.p == layer.q == 7
         assert layer.stride == 2
 
-    def test_matmul_layer(self):
-        layer = matmul_layer(m=64, n=128, k=256)
-        assert layer.is_matmul
+    def test_matmul_layer_is_a_deprecated_shim(self):
+        with pytest.warns(DeprecationWarning, match="matmul_layer"):
+            layer = matmul_layer(m=64, n=128, k=256)
+        # The shim now returns a first-class matmul problem instead of a conv
+        # alias: the reduction dimension is K, not a fake channel dim.
+        assert layer.problem.name == "matmul"
+        assert layer.problem.reduction_dims == ("K",)
         assert layer.macs == 64 * 128 * 256
 
     def test_fc_layer_detection(self):
