@@ -1,186 +1,90 @@
 #!/usr/bin/env python
-"""Benchmark: scalar vs batched mapping evaluation (mappings/second).
+"""Benchmark: scalar vs batched vs compiled vs delta mapping evaluation.
 
-For each ResNet-50 conv layer, draw a fixed set of random candidates and
-time two evaluation pipelines over the identical candidates:
+For each ResNet-50 conv layer (plus transformer-style tensor problems), draw
+a fixed set of random candidates and time four evaluation pipelines over the
+identical candidates — see :mod:`repro.benchmarking` for the measurement
+recipe and the built-in parity audits.  The per-layer throughput, speedups,
+kernel build times and cross-layer geomeans are printed as a table and
+written (atomically) to ``BENCH_eval.json`` (default under
+``benchmarks/results/``) so the speedups are tracked across PRs::
 
-* **scalar** — one :class:`repro.model.cost.CostModel` call per mapping (the
-  reference oracle the search baselines used exclusively before batching),
-* **batched** — pack the draws into a :class:`repro.model.batch.MappingBatch`
-  and evaluate them in one :class:`repro.model.batch.BatchCostModel` pass
-  (batch construction time is charged to the batched side; the scalar side
-  gets its ``Mapping`` objects for free, so the reported speedup is a lower
-  bound).
-
-The per-layer throughput, speedups and a cross-layer geometric mean are
-printed as a table and written to ``BENCH_eval.json`` (default under
-``benchmarks/results/``) so the speedup is tracked across PRs::
-
-    python benchmarks/bench_eval.py                 # full sweep (23 layers)
-    python benchmarks/bench_eval.py --quick         # 6-layer subset
-    python benchmarks/bench_eval.py --check 10      # exit 1 below 10x geomean
+    python benchmarks/bench_eval.py                  # full sweep (23 layers)
+    python benchmarks/bench_eval.py --quick          # 6-layer subset
+    python benchmarks/bench_eval.py --check 10       # exit 1 below 10x batched geomean
+    python benchmarks/bench_eval.py --check-compiled 18 --check-delta 3
 """
 
 from __future__ import annotations
 
 import argparse
-import json
-import math
-import random
 import sys
-import time
 from pathlib import Path
 
 if __package__ in (None, ""):  # running as a script: make src/ importable
     sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
-from repro.arch import simba_like
-from repro.mapping.space import MapSpace
-from repro.model import CostModel, HAVE_NUMPY
-from repro.workloads import layer_from_name
-from repro.workloads.networks import RESNET50_LAYER_STRINGS
-from repro.workloads.problem import attention_av, attention_qk, matmul
+from repro.benchmarking import (
+    bench_report,
+    check_report,
+    preset_layers,
+    render_row,
+    render_summary,
+)
+from repro.io_utils import atomic_write_json
 
 DEFAULT_OUT = Path(__file__).resolve().parent / "results" / "BENCH_eval.json"
-
-#: Quick subset: the 3x3 conv layers plus the stem (covers small and large shapes).
-QUICK_LAYERS = (
-    "7_112_3_64_2",
-    "3_56_64_64_1",
-    "3_28_128_128_2",
-    "3_14_256_256_1",
-    "3_7_512_512_1",
-    "1_7_2048_512_1",
-)
-
-
-def _problem_layers():
-    """Non-conv tensor problems tracked alongside the ResNet-50 conv layers:
-    a BERT-style projection / FFN matmul and the two attention contractions."""
-    return (
-        matmul(m=128, n=768, k=768, name="matmul_128x768x768"),
-        matmul(m=128, n=3072, k=768, name="matmul_128x768x3072"),
-        attention_qk(seq=128, heads=12, head_dim=64, name="attn_qk_128_h12d64"),
-        attention_av(seq=128, heads=12, head_dim=64, name="attn_av_128_h12d64"),
-    )
-
-
-def bench_layer(arch, layer, samples: int, seed: int) -> dict:
-    """Time both pipelines over identical candidates of one layer."""
-    from repro.model.batch import BatchCostModel, MappingBatch
-
-    space = MapSpace(layer, arch)
-    draws = space.sample_batch(samples, random.Random(seed))
-    mappings = [draws.materialize(i) for i in range(samples)]
-
-    scalar_model = CostModel(arch)
-    start = time.perf_counter()
-    scalar_results = [scalar_model.evaluate(m) for m in mappings]
-    scalar_seconds = time.perf_counter() - start
-
-    batch_model = BatchCostModel(arch)
-    start = time.perf_counter()
-    batch_result = batch_model.evaluate_batch(MappingBatch.from_draws(draws))
-    batched_seconds = time.perf_counter() - start
-
-    # Parity audit alongside the timing: the speedup is meaningless if the
-    # fast path disagrees with the oracle.
-    max_rel = 0.0
-    mismatches = 0
-    for i, cost in enumerate(scalar_results):
-        if cost.valid != bool(batch_result.valid[i]):
-            mismatches += 1
-            continue
-        if cost.valid:
-            for s, b in ((cost.latency, batch_result.latency[i]),
-                         (cost.energy, batch_result.energy[i])):
-                rel = abs(s - b) / abs(s) if s else 0.0
-                max_rel = max(max_rel, rel)
-
-    return {
-        "layer": layer.name or layer.canonical_name,
-        "problem": layer.problem.name,
-        "samples": samples,
-        "num_valid": int(batch_result.num_valid),
-        "scalar_mappings_per_sec": samples / scalar_seconds,
-        "batched_mappings_per_sec": samples / batched_seconds,
-        "speedup": scalar_seconds / batched_seconds,
-        "validity_mismatches": mismatches,
-        "max_rel_diff": max_rel,
-    }
 
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--quick", action="store_true", help="6-layer subset, fewer samples")
     parser.add_argument("--samples", type=int, default=None, help="candidates per layer")
+    parser.add_argument("--moves", type=int, default=96, help="delta moves timed per layer")
     parser.add_argument("--seed", type=int, default=0, help="sampling seed")
     parser.add_argument("--out", type=Path, default=DEFAULT_OUT, help="JSON report path")
     parser.add_argument(
         "--check", type=float, default=None, metavar="MIN",
-        help="exit 1 when the geomean speedup falls below MIN",
+        help="exit 1 when the batched geomean speedup falls below MIN",
+    )
+    parser.add_argument(
+        "--check-compiled", type=float, default=None, metavar="MIN",
+        help="exit 1 when the compiled geomean speedup falls below MIN",
+    )
+    parser.add_argument(
+        "--check-delta", type=float, default=None, metavar="MIN",
+        help="exit 1 when the delta-vs-full geomean speedup falls below MIN",
     )
     args = parser.parse_args(argv)
 
-    if not HAVE_NUMPY:
-        print("numpy unavailable: the batched evaluator has no fast path here", file=sys.stderr)
-        return 1
-
-    layer_names = QUICK_LAYERS if args.quick else RESNET50_LAYER_STRINGS
-    layers = [layer_from_name(name) for name in layer_names]
-    layers.extend(_problem_layers())
+    layers = preset_layers("quick" if args.quick else "resnet50")
     samples = args.samples or (256 if args.quick else 512)
-    arch = simba_like()
 
-    rows = []
-    for layer in layers:
-        row = bench_layer(arch, layer, samples, args.seed)
-        rows.append(row)
-        print(
-            f"{row['layer']:<20} scalar {row['scalar_mappings_per_sec']:>9.0f}/s   "
-            f"batched {row['batched_mappings_per_sec']:>10.0f}/s   "
-            f"speedup {row['speedup']:6.1f}x   "
-            f"valid {row['num_valid']}/{row['samples']}   "
-            f"max_rel_diff {row['max_rel_diff']:.2e}"
+    try:
+        report = bench_report(
+            layers,
+            samples,
+            args.seed,
+            num_moves=args.moves,
+            quick=args.quick,
+            progress=lambda row: print(render_row(row)),
         )
+    except RuntimeError as error:  # no numpy: nothing to measure
+        print(str(error), file=sys.stderr)
+        return 1
 
-    speedups = [row["speedup"] for row in rows]
-    geomean = math.exp(sum(math.log(s) for s in speedups) / len(speedups))
-    report = {
-        "benchmark": "batched-mapping-evaluation",
-        "network": "resnet50+transformer",
-        "arch": arch.name,
-        "quick": args.quick,
-        "samples_per_layer": samples,
-        "seed": args.seed,
-        "layers": rows,
-        "geomean_speedup": geomean,
-        "min_speedup": min(speedups),
-        "max_speedup": max(speedups),
-        "total_validity_mismatches": sum(r["validity_mismatches"] for r in rows),
-        "max_rel_diff": max(r["max_rel_diff"] for r in rows),
-    }
-    args.out.parent.mkdir(parents=True, exist_ok=True)
-    args.out.write_text(json.dumps(report, indent=2) + "\n")
-    print(
-        f"\ngeomean speedup {geomean:.1f}x  (min {report['min_speedup']:.1f}x, "
-        f"max {report['max_speedup']:.1f}x) over {len(rows)} layers -> {args.out}"
+    atomic_write_json(args.out, report)
+    print(f"\n{render_summary(report)} -> {args.out}")
+
+    failures = check_report(
+        report,
+        check=args.check,
+        check_compiled=args.check_compiled,
+        check_delta=args.check_delta,
     )
-
-    if report["total_validity_mismatches"]:
-        print("PARITY FAILURE: batched validity disagrees with the scalar oracle", file=sys.stderr)
-        return 1
-    if report["max_rel_diff"] > 1e-9:
-        print(
-            f"PARITY FAILURE: max relative difference {report['max_rel_diff']:.2e} "
-            "exceeds the 1e-9 tolerance",
-            file=sys.stderr,
-        )
-        return 1
-    if args.check is not None and geomean < args.check:
-        print(f"speedup check failed: geomean {geomean:.1f}x < {args.check}x", file=sys.stderr)
-        return 1
-    return 0
+    for failure in failures:
+        print(failure, file=sys.stderr)
+    return 1 if failures else 0
 
 
 if __name__ == "__main__":

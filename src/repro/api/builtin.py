@@ -3,7 +3,7 @@
 Importing :mod:`repro.api` loads this module once, populating the
 registries with everything the repository ships: the four spatial /
 GPU architecture presets, the evaluated workloads (the paper's four DNNs
-plus the transformer-block presets), the five schedulers (CoSA, the three
+plus the transformer-block presets), the six schedulers (CoSA, the four
 search baselines, CoSA-GPU), the two evaluation platforms and the
 tensor-problem factories (conv, matmul, depthwise/grouped conv,
 attention).  Heavy dependencies (scipy via the MIP backend,
@@ -59,6 +59,16 @@ def _make_tvm(accelerator, **options):
     from repro.baselines.tvm_like import TVMLikeTuner
 
     return TVMLikeTuner(accelerator, **options)
+
+
+@schedulers.register(
+    "local-search",
+    description="move-based local search with delta evaluation and DDFW-style weights",
+)
+def _make_local_search(accelerator, **options):
+    from repro.baselines.local_search import LocalSearchScheduler
+
+    return LocalSearchScheduler(accelerator, **options)
 
 
 @schedulers.register(

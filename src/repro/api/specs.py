@@ -30,6 +30,11 @@ METRICS = ("latency", "energy", "edp")
 #: Executor kinds accepted by the engine.
 EXECUTORS = ("thread", "process")
 
+#: Evaluation-kernel backends accepted by the engine.  Kept in sync with
+#: :data:`repro.model.kernels.KERNEL_BACKENDS` (asserted by the test suite)
+#: rather than imported, so spec parsing stays dependency-free.
+KERNEL_BACKENDS = ("numpy", "numba", "off")
+
 
 def _require_keys(data: Mapping, allowed: tuple[str, ...], where: str) -> None:
     if not isinstance(data, Mapping):
@@ -241,13 +246,22 @@ class PlatformSpec:
 
 @dataclass(frozen=True)
 class EngineSpec:
-    """Engine knobs: parallelism, mapping cache, batching and time budget."""
+    """Engine knobs: parallelism, mapping cache, batching and time budget.
+
+    ``kernel_backend`` selects the vectorized-evaluation backend of
+    :mod:`repro.model.kernels` (``"numpy"``/``"numba"``/``"off"``); ``None``
+    defers to the ``REPRO_KERNEL_BACKEND`` environment variable.  All
+    backends are bit-identical, so the knob is execution-only — it is
+    omitted from serialized specs when unset, keeping legacy spec files and
+    their fingerprints byte-identical.
+    """
 
     jobs: int = 1
     cache: str | None = None
     batch_size: int = 64
     time_budget: float | None = None
     executor: str = "thread"
+    kernel_backend: str | None = None
 
     def __post_init__(self) -> None:
         _check_int(self.jobs, "EngineSpec.jobs", minimum=1)
@@ -263,20 +277,31 @@ class EngineSpec:
             self.executor in EXECUTORS,
             f"EngineSpec.executor must be one of {EXECUTORS}, got {self.executor!r}",
         )
+        if self.kernel_backend is not None:
+            _require(
+                self.kernel_backend in KERNEL_BACKENDS,
+                f"EngineSpec.kernel_backend must be one of {KERNEL_BACKENDS}, "
+                f"got {self.kernel_backend!r}",
+            )
 
     def to_dict(self) -> dict:
-        return {
+        data = {
             "jobs": self.jobs,
             "cache": self.cache,
             "batch_size": self.batch_size,
             "time_budget": self.time_budget,
             "executor": self.executor,
         }
+        if self.kernel_backend is not None:
+            data["kernel_backend"] = self.kernel_backend
+        return data
 
     @classmethod
     def from_dict(cls, data) -> "EngineSpec":
         _require_keys(
-            data, ("jobs", "cache", "batch_size", "time_budget", "executor"), "EngineSpec"
+            data,
+            ("jobs", "cache", "batch_size", "time_budget", "executor", "kernel_backend"),
+            "EngineSpec",
         )
         return cls(
             jobs=data.get("jobs", 1),
@@ -284,6 +309,7 @@ class EngineSpec:
             batch_size=data.get("batch_size", 64),
             time_budget=data.get("time_budget"),
             executor=data.get("executor", "thread"),
+            kernel_backend=data.get("kernel_backend"),
         )
 
 

@@ -42,8 +42,10 @@ from repro.io_utils import atomic_write_json, atomic_write_text
 
 #: ``EngineSpec`` keys that steer execution but cannot change the payload
 #: (see the determinism notes in :mod:`repro.engine.engine`); they are
-#: excluded from the spec fingerprint.
-EXECUTION_ONLY_ENGINE_KEYS = ("jobs", "executor", "cache")
+#: excluded from the spec fingerprint.  ``kernel_backend`` qualifies because
+#: every evaluation backend is bit-identical (enforced by the kernel parity
+#: tests), so a numpy and a numba run of one spec share a store entry.
+EXECUTION_ONLY_ENGINE_KEYS = ("jobs", "executor", "cache", "kernel_backend")
 
 
 def spec_fingerprint(spec: RunSpec) -> str:

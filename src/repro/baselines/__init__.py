@@ -9,10 +9,15 @@
   run of valid-but-not-better mappings,
 * :class:`~repro.baselines.tvm_like.TVMLikeTuner` — an iterative
   feedback-driven tuner standing in for TVM's XGBoost tuner in the GPU
-  experiment (Sec. V-D).
+  experiment (Sec. V-D),
+* :class:`~repro.baselines.local_search.LocalSearchScheduler` — move-based
+  local search over the map space, costing candidate moves incrementally
+  with the delta evaluator and steering through infeasible regions with
+  DDFW-style adaptive constraint weights.
 """
 
 from repro.baselines.base import SearchResult, SearchScheduler, stable_layer_seed
+from repro.baselines.local_search import LocalSearchScheduler
 from repro.baselines.random_search import RandomScheduler
 from repro.baselines.timeloop_hybrid import TimeloopHybridScheduler
 from repro.baselines.tvm_like import TVMLikeTuner
@@ -24,4 +29,5 @@ __all__ = [
     "RandomScheduler",
     "TimeloopHybridScheduler",
     "TVMLikeTuner",
+    "LocalSearchScheduler",
 ]

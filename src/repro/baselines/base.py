@@ -42,6 +42,7 @@ from repro.mapping.mapping import Mapping
 from repro.mapping.space import MappingDraws
 from repro.model.batch import HAVE_NUMPY, BatchCostModel, MappingBatch
 from repro.model.cost import CostResult
+from repro.model.kernels import CompiledCostModel, resolve_backend
 from repro.workloads.layer import Layer
 
 
@@ -105,6 +106,13 @@ class SearchScheduler:
     time_budget_seconds:
         Optional wall-clock budget per layer; the search stops at the first
         check point after the budget expires.  ``None`` means unbounded.
+    kernel_backend:
+        ``"numpy"`` (default) or ``"numba"`` evaluate batches through the
+        compiled per-(problem, arch) kernels of :mod:`repro.model.kernels`;
+        ``"off"`` keeps the un-compiled :class:`BatchCostModel`.  ``None``
+        reads the ``REPRO_KERNEL_BACKEND`` environment variable.  All
+        backends are bit-identical, so like ``eval_batch_size`` the knob
+        only enters the fingerprint of budget-capped runs.
     """
 
     #: Supported optimisation metrics.
@@ -118,6 +126,7 @@ class SearchScheduler:
         metric: str = "latency",
         eval_batch_size: int | None = None,
         time_budget_seconds: float | None = None,
+        kernel_backend: str | None = None,
     ):
         if metric not in self.METRICS:
             raise ValueError(f"unknown metric {metric!r}; expected one of {self.METRICS}")
@@ -128,7 +137,8 @@ class SearchScheduler:
         self.metric = metric
         self.eval_batch_size = eval_batch_size
         self.time_budget_seconds = time_budget_seconds
-        self._batch_model_cache: BatchCostModel | None = None
+        self.kernel_backend = resolve_backend(kernel_backend)
+        self._batch_model_cache: BatchCostModel | CompiledCostModel | None = None
 
     def score(self, cost: CostResult) -> float:
         """Scalar to minimise for a cost result (``inf`` for invalid mappings)."""
@@ -146,9 +156,15 @@ class SearchScheduler:
         """True when candidates will be evaluated with the vectorized model."""
         return bool(self.eval_batch_size and self.eval_batch_size > 1 and HAVE_NUMPY)
 
-    def _batch_model(self) -> BatchCostModel:
+    def _batch_model(self) -> BatchCostModel | CompiledCostModel:
+        """The vectorized evaluator: compiled kernels unless backend ``"off"``."""
         if self._batch_model_cache is None:
-            self._batch_model_cache = BatchCostModel(self.accelerator)
+            if self.kernel_backend == "off":
+                self._batch_model_cache = BatchCostModel(self.accelerator)
+            else:
+                self._batch_model_cache = CompiledCostModel(
+                    self.accelerator, backend=self.kernel_backend
+                )
         return self._batch_model_cache
 
     def _scored(self, candidates: Iterable[Mapping]) -> Iterator[tuple[Mapping, bool, float]]:
@@ -180,7 +196,11 @@ class SearchScheduler:
         the caller via :meth:`MappingDraws.materialize`.
         """
         if self.batching_enabled and len(draws) > 1:
-            result = self._batch_model().evaluate_batch(MappingBatch.from_draws(draws))
+            model = self._batch_model()
+            if hasattr(model, "evaluate_draws"):
+                result = model.evaluate_draws(draws)
+            else:
+                result = model.evaluate_batch(MappingBatch.from_draws(draws))
             return result.valid, result.score(self.metric)
         valid, scores = [], []
         for mapping in draws.iter_mappings():
@@ -217,6 +237,7 @@ class SearchScheduler:
         if self.time_budget_seconds is not None:
             config["time_budget_seconds"] = self.time_budget_seconds
             config["eval_batch_size"] = self.eval_batch_size
+            config["kernel_backend"] = self.kernel_backend
         return config
 
     def config_fingerprint(self) -> str:

@@ -161,6 +161,22 @@ def _build_parser() -> argparse.ArgumentParser:
         help="sorted, stable JSON listing (axis -> name -> description)",
     )
 
+    bench = sub.add_parser(
+        "bench", help="benchmark mapping-evaluation throughput on a workload preset"
+    )
+    from repro.benchmarking import PRESETS
+
+    bench.add_argument(
+        "preset", nargs="?", default="quick", choices=sorted(PRESETS),
+        help="workload preset to benchmark (default: quick)",
+    )
+    bench.add_argument("--arch", default="baseline-4x4", choices=sorted(architectures.available()))
+    bench.add_argument("--samples", type=_positive_int, default=256, help="candidates per layer")
+    bench.add_argument("--moves", type=_positive_int, default=96, help="delta moves timed per layer")
+    bench.add_argument("--seed", type=int, default=0, help="sampling seed")
+    bench.add_argument("--out", metavar="FILE", default=None, help="also write the JSON report here")
+    bench.add_argument("--json", action="store_true", help="print the JSON report instead of the table")
+
     sub.add_parser("networks", help="list the evaluated DNN workloads and their layers")
     sub.add_parser("archs", help="list the available architecture presets")
     return parser
@@ -189,6 +205,11 @@ def _add_engine_arguments(parser: argparse.ArgumentParser) -> None:
         "--time-budget", type=float, default=None, metavar="SECONDS",
         help="per-layer wall-clock budget for the search baselines",
     )
+    parser.add_argument(
+        "--kernel-backend", default=None, choices=("numpy", "numba", "off"),
+        help="evaluation-kernel backend for the search baselines "
+        "(default: compiled numpy kernels; all backends are bit-identical)",
+    )
 
 
 def _add_store_argument(parser: argparse.ArgumentParser) -> None:
@@ -204,6 +225,7 @@ def _engine_spec(args) -> EngineSpec:
         cache=args.cache,
         batch_size=args.batch_size,
         time_budget=args.time_budget,
+        kernel_backend=args.kernel_backend,
     )
 
 
@@ -229,6 +251,8 @@ def _solve_description(outcome) -> str:
         return f"Hybrid search: {outcome.num_evaluated} valid mappings evaluated"
     if outcome.scheduler == "tvm-like":
         return f"TVM-like tuner: {outcome.num_sampled} samples, {outcome.num_evaluated} valid"
+    if outcome.scheduler == "local-search":
+        return f"Local search: {outcome.num_evaluated} move evaluations"
     return f"{outcome.scheduler}: solved in {outcome.solve_time_seconds:.1f}s"
 
 
@@ -519,6 +543,43 @@ def _registry(args) -> int:
     return 0
 
 
+def _bench(args) -> int:
+    from repro.benchmarking import (
+        bench_report,
+        check_report,
+        preset_layers,
+        render_row,
+        render_summary,
+    )
+    from repro.io_utils import atomic_write_json
+
+    try:
+        report = bench_report(
+            preset_layers(args.preset),
+            args.samples,
+            args.seed,
+            arch=architectures.create(args.arch),
+            num_moves=args.moves,
+            label=args.preset,
+            progress=None if args.json else (lambda row: print(render_row(row))),
+        )
+    except RuntimeError as error:  # no numpy: nothing to measure
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    if args.out:
+        atomic_write_json(args.out, report)
+    if args.json:
+        print(json.dumps(report, indent=2))
+    else:
+        print(f"\n{render_summary(report)}")
+        if args.out:
+            print(f"report written to {args.out}")
+    failures = check_report(report)
+    for failure in failures:
+        print(failure, file=sys.stderr)
+    return 1 if failures else 0
+
+
 def _networks() -> int:
     for name in workloads.available():
         layers = workloads.create(name)
@@ -558,6 +619,8 @@ def main(argv=None) -> int:
         return _result(args)
     if args.command == "registry":
         return _registry(args)
+    if args.command == "bench":
+        return _bench(args)
     if args.command == "networks":
         return _networks()
     return _archs()

@@ -16,6 +16,7 @@ simulator (:mod:`repro.noc`).
 
 from repro.mapping.mapping import Loop, LevelMapping, Mapping
 from repro.mapping.loopnest import render_loop_nest
+from repro.mapping.moves import FactorMove, MappingState, PermutationSwap, propose_move
 from repro.mapping.space import MapSpace, MappingDraws, MappingSpace, random_mapping
 from repro.mapping.serialize import load_mapping, mapping_from_dict, mapping_to_dict, save_mapping
 
@@ -28,6 +29,10 @@ __all__ = [
     "MappingSpace",
     "MappingDraws",
     "random_mapping",
+    "FactorMove",
+    "PermutationSwap",
+    "MappingState",
+    "propose_move",
     "mapping_to_dict",
     "mapping_from_dict",
     "save_mapping",

@@ -18,6 +18,7 @@ from dataclasses import dataclass, field
 
 from repro.arch.accelerator import Accelerator
 from repro.mapping.mapping import LevelMapping, Loop, Mapping
+from repro.mapping.moves import MappingState, propose_move
 from repro.workloads.layer import Layer
 from repro.workloads.prime import count_factorizations, factorize
 
@@ -206,6 +207,46 @@ class MapSpace:
             draws.temporal.append(temporal)
             draws.spatial.append(spatial)
         return draws
+
+    # ------------------------------------------------------------ local search
+    @property
+    def spatial_fanouts(self) -> dict[int, int]:
+        """Per-level spatial fanout budgets ``{level index: fanout}`` (copy)."""
+        return dict(self._spatial_levels)
+
+    def initial_state(self, draws: MappingDraws, index: int) -> MappingState:
+        """Seed a mutable :class:`~repro.mapping.moves.MappingState` from a draw."""
+        return MappingState.from_draws(draws, index)
+
+    def random_move(self, state: MappingState, rng: random.Random, **kwargs):
+        """One random local-search move for ``state`` (``None`` when frozen).
+
+        Thin wrapper over :func:`~repro.mapping.moves.propose_move` that
+        supplies this space's fanout budgets; keyword arguments
+        (``swap_probability``, ``overflow_probability``, ...) pass through.
+        """
+        return propose_move(state, self._spatial_levels, rng, **kwargs)
+
+    def neighborhood(self, state: MappingState, rng: random.Random, count: int, **kwargs) -> list:
+        """Up to ``count`` distinct random moves applicable to ``state``.
+
+        Moves are drawn via :meth:`random_move` and deduplicated (they are
+        frozen dataclasses, hence hashable); fewer than ``count`` moves are
+        returned when the state is frozen or proposals keep colliding.
+        """
+        moves: list = []
+        seen: set = set()
+        for _ in range(4 * count):
+            if len(moves) >= count:
+                break
+            move = self.random_move(state, rng, **kwargs)
+            if move is None:
+                break
+            if move in seen:
+                continue
+            seen.add(move)
+            moves.append(move)
+        return moves
 
     def is_valid(self, mapping: Mapping) -> bool:
         """True when the mapping satisfies the layer bounds, fanouts and buffer capacities."""

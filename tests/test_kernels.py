@@ -1,0 +1,223 @@
+"""Parity and cache tests for the compiled evaluation kernels.
+
+The compiled path (:mod:`repro.model.kernels`) must be a pure speed-up:
+
+* **Bit-exact parity** — on every built-in tensor problem the compiled
+  kernel's validity / latency / energy / utilization arrays equal the
+  batched model's with ``==`` (no tolerance), and the batched model is
+  itself locked to the scalar oracle by ``test_batch_parity.py``.
+* **Packing parity** — :meth:`CompiledKernel.pack_draws` produces exactly
+  the arrays of ``MappingBatch.from_draws``.
+* **Cache behaviour** — kernels are cached process-wide per
+  (problem, architecture, backend) with observable hit/miss counters.
+* **Backend selection** — explicit argument beats the environment variable
+  beats the numpy default; the numba backend silently falls back to numpy
+  (and stays bit-identical) when numba is not installed, which is what
+  justifies keeping ``kernel_backend`` out of cache fingerprints.
+"""
+
+import random
+
+import pytest
+
+from repro.arch import architecture_presets, gpu_k80, simba_like
+from repro.mapping import MapSpace
+from repro.model import CostModel, HAVE_NUMPY
+from repro.model.batch import BatchCostModel, MappingBatch
+from repro.model.kernels import (
+    BACKEND_ENV_VAR,
+    KERNEL_BACKENDS,
+    CompiledCostModel,
+    KernelCompiler,
+    clear_kernel_cache,
+    kernel_cache_info,
+    numba_available,
+    resolve_backend,
+)
+from repro.workloads import (
+    attention_av,
+    attention_qk,
+    depthwise_conv,
+    grouped_conv,
+    layer_from_name,
+    matmul,
+)
+
+pytestmark = pytest.mark.skipif(not HAVE_NUMPY, reason="numpy unavailable: no compiled path")
+
+ARCH = simba_like()
+
+if HAVE_NUMPY:
+    import numpy as np
+
+
+def builtin_problem_layers():
+    """One small layer per built-in tensor problem (all six)."""
+    return [
+        layer_from_name("3_7_64_64_1"),  # conv7
+        matmul(m=8, n=16, k=32, name="kernel_matmul"),
+        depthwise_conv(r=3, p=8, c=16, name="kernel_dw"),
+        grouped_conv(r=3, p=8, c=4, k=4, groups=8, name="kernel_gconv"),
+        attention_qk(seq=16, heads=2, head_dim=8, name="kernel_qk"),
+        attention_av(seq=16, heads=2, head_dim=8, name="kernel_av"),
+    ]
+
+
+def assert_results_identical(a, b):
+    """BatchCostResult equality with ``==`` — bit-exact, not approximate."""
+    assert np.array_equal(a.valid, b.valid)
+    assert np.array_equal(a.latency, b.latency)
+    assert np.array_equal(a.energy, b.energy)
+    assert np.array_equal(a.utilization, b.utilization)
+
+
+class TestCompiledParity:
+    def test_compiled_equals_batched_on_every_builtin_problem(self):
+        for layer in builtin_problem_layers():
+            draws = MapSpace(layer, ARCH).sample_batch(64, random.Random(7))
+            batched = BatchCostModel(ARCH).evaluate_batch(MappingBatch.from_draws(draws))
+            compiled = KernelCompiler(ARCH).compile(layer.problem).evaluate_draws(draws)
+            assert_results_identical(compiled, batched)
+            assert bool(compiled.valid.any()), f"no valid draw for {layer.name}: weak test"
+
+    def test_compiled_equals_scalar_oracle(self):
+        scalar = CostModel(ARCH)
+        model = CompiledCostModel(ARCH)
+        for layer in builtin_problem_layers():
+            draws = MapSpace(layer, ARCH).sample_batch(24, random.Random(11))
+            result = model.evaluate_draws(draws)
+            for i in range(len(draws)):
+                cost = scalar.evaluate(draws.materialize(i))
+                assert bool(result.valid[i]) == cost.valid
+                if cost.valid:
+                    assert result.latency[i] == cost.latency
+                    assert result.energy[i] == cost.energy
+                    assert result.utilization[i] == cost.utilization
+
+    def test_parity_across_architecture_presets(self):
+        layer = layer_from_name("3_14_32_64_1")
+        for _, arch in sorted(architecture_presets().items()):
+            draws = MapSpace(layer, arch).sample_batch(48, random.Random(3))
+            batched = BatchCostModel(arch).evaluate_batch(MappingBatch.from_draws(draws))
+            compiled = CompiledCostModel(arch).evaluate_draws(draws)
+            assert_results_identical(compiled, batched)
+
+    def test_evaluate_mappings_matches_batched_model(self):
+        layer = layer_from_name("3_7_64_64_1")
+        draws = MapSpace(layer, ARCH).sample_batch(16, random.Random(5))
+        mappings = [draws.materialize(i) for i in range(len(draws))]
+        assert_results_identical(
+            CompiledCostModel(ARCH).evaluate_mappings(mappings),
+            BatchCostModel(ARCH).evaluate_mappings(mappings),
+        )
+
+
+class TestPackDraws:
+    def test_pack_draws_reproduces_from_draws_arrays(self):
+        for layer in builtin_problem_layers():
+            draws = MapSpace(layer, ARCH).sample_batch(32, random.Random(0))
+            reference = MappingBatch.from_draws(draws)
+            fast = KernelCompiler(ARCH).compile(layer.problem).pack_draws(draws)
+            for name in ("temporal", "spatial", "loop_level", "loop_dim", "loop_bound"):
+                assert np.array_equal(getattr(fast, name), getattr(reference, name)), (
+                    f"{layer.name}: {name} diverges"
+                )
+            assert fast.layer is draws.layer
+            assert fast._source is draws  # materialize() keeps working
+
+
+class TestKernelCache:
+    def test_second_compile_hits_the_cache(self):
+        clear_kernel_cache()
+        layer = matmul(m=8, n=16, k=32, name="cache_probe")
+        compiler = KernelCompiler(ARCH)
+        first = compiler.compile(layer.problem)
+        assert kernel_cache_info()["misses"] == 1
+        assert kernel_cache_info()["hits"] == 0
+        second = compiler.compile(layer.problem)
+        assert second is first
+        # A fresh compiler on the same architecture shares the cache too.
+        assert KernelCompiler(ARCH).compile(layer.problem) is first
+        info = kernel_cache_info()
+        assert info["hits"] == 2
+        assert info["misses"] == 1
+        assert info["entries"] == 1
+
+    def test_distinct_architectures_get_distinct_kernels(self):
+        clear_kernel_cache()
+        layer = layer_from_name("3_7_64_64_1")
+        presets = sorted(architecture_presets().items())
+        kernels = [KernelCompiler(arch).compile(layer.problem) for _, arch in presets]
+        assert len({id(k) for k in kernels}) == len(presets)
+        assert kernel_cache_info()["entries"] == len(presets)
+
+    def test_clear_kernel_cache_resets_counters(self):
+        KernelCompiler(ARCH).compile(matmul(m=4, n=4, k=4, name="tiny").problem)
+        clear_kernel_cache()
+        assert kernel_cache_info() == {"hits": 0, "misses": 0, "entries": 0}
+
+    def test_kernel_records_build_time(self):
+        clear_kernel_cache()
+        kernel = KernelCompiler(ARCH).compile(layer_from_name("3_7_64_64_1").problem)
+        assert kernel.build_seconds >= 0.0
+
+
+class TestBackendSelection:
+    def test_backend_constant_is_shared_with_the_spec_layer(self):
+        # ``repro.api.specs`` keeps a local copy so importing the spec layer
+        # never pulls in the (numpy-importing) kernel module; this assertion
+        # is the promised sync check.
+        from repro.api.specs import KERNEL_BACKENDS as SPEC_BACKENDS
+
+        assert SPEC_BACKENDS == KERNEL_BACKENDS
+
+    def test_resolution_order_explicit_env_default(self, monkeypatch):
+        monkeypatch.delenv(BACKEND_ENV_VAR, raising=False)
+        assert resolve_backend(None) == "numpy"
+        monkeypatch.setenv(BACKEND_ENV_VAR, "numba")
+        assert resolve_backend(None) == "numba"
+        assert resolve_backend("numpy") == "numpy"  # explicit beats env
+        monkeypatch.setenv(BACKEND_ENV_VAR, "cuda")
+        with pytest.raises(ValueError, match="unknown kernel backend"):
+            resolve_backend(None)
+        with pytest.raises(ValueError, match="unknown kernel backend"):
+            resolve_backend("fortran")
+
+    def test_numba_backend_falls_back_and_stays_identical(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV_VAR, "numba")
+        clear_kernel_cache()
+        layer = layer_from_name("3_7_64_64_1")
+        kernel = KernelCompiler(ARCH).compile(layer.problem)
+        assert kernel.backend == "numba"
+        if not numba_available():  # the CI image has no numba
+            assert kernel.effective_backend == "numpy"
+        draws = MapSpace(layer, ARCH).sample_batch(32, random.Random(9))
+        via_env = kernel.evaluate_draws(draws)
+        monkeypatch.delenv(BACKEND_ENV_VAR)
+        clear_kernel_cache()
+        via_numpy = KernelCompiler(ARCH).compile(layer.problem).evaluate_draws(draws)
+        assert_results_identical(via_env, via_numpy)
+
+    def test_compiler_rejects_backend_off(self):
+        with pytest.raises(ValueError, match="scheduler level"):
+            KernelCompiler(ARCH, backend="off")
+
+
+class TestKernelGuards:
+    def test_problem_mismatch_is_an_error(self):
+        kernel = KernelCompiler(ARCH).compile(layer_from_name("3_7_64_64_1").problem)
+        other = matmul(m=8, n=16, k=32, name="wrong_problem")
+        draws = MapSpace(other, ARCH).sample_batch(4, random.Random(0))
+        with pytest.raises(ValueError, match="cannot"):
+            kernel.evaluate(MappingBatch.from_draws(draws))
+
+    def test_level_count_mismatch_marks_everything_invalid(self):
+        layer = layer_from_name("3_7_64_64_1")
+        kernel = KernelCompiler(ARCH).compile(layer.problem)  # 6-level hierarchy
+        shallow = gpu_k80()  # 4-level hierarchy
+        draws = MapSpace(layer, shallow).sample_batch(8, random.Random(2))
+        result = kernel.evaluate(MappingBatch.from_draws(draws))
+        assert not result.valid.any()
+        assert np.all(np.isinf(result.latency))
+        assert np.all(np.isinf(result.energy))
+        assert np.all(result.utilization == 0.0)

@@ -1,0 +1,228 @@
+"""Tests for the DDFW-style local-search scheduler and its plumbing.
+
+Four layers of contract:
+
+* **End-to-end** — ``local-search`` is registered, schedules conv and
+  matmul layers through ``schedule_outcome`` and the declarative ``run()``
+  path, and its winner validates against the layer.
+* **Outcome invariance** — ``use_delta``, ``eval_batch_size`` and
+  ``kernel_backend`` are pure speed knobs: same seed, same winner, same
+  cost, same config fingerprint (the mapping-cache key).
+* **Quality** — under an equal evaluation budget the guided search is never
+  worse than random search on a spread of ResNet-50 layers (and strictly
+  better on some).
+* **Store identity** — specs differing only in ``engine.kernel_backend``
+  share a spec fingerprint and therefore a result-store entry, mirroring
+  the established ``eval_batch_size`` rule.
+"""
+
+import pytest
+
+from repro.api import (
+    EngineSpec,
+    RunSpec,
+    SchedulingService,
+    run,
+    schedulers,
+    spec_fingerprint,
+)
+from repro.api.store import ResultStore
+from repro.arch import simba_like
+from repro.baselines import LocalSearchScheduler, RandomScheduler
+from repro.engine import SchedulingEngine
+from repro.mapping import mapping_to_dict
+from repro.workloads import layer_from_name, matmul
+
+ARCH = simba_like()
+
+#: Cheap spec used by the fingerprint/store tests below.
+LOCAL_SEARCH_SPEC = {
+    "kind": "schedule",
+    "workload": {"layers": ["3_4_8_16_1"]},
+    "scheduler": {
+        "name": "local-search",
+        "options": {"max_evaluations": 200, "init_samples": 32},
+    },
+}
+
+
+def small_scheduler(**overrides):
+    options = {"max_evaluations": 400, "init_samples": 64, "seed": 3}
+    options.update(overrides)
+    return LocalSearchScheduler(ARCH, **options)
+
+
+class TestEndToEnd:
+    def test_registered_and_creatable(self):
+        assert "local-search" in schedulers.available()
+        scheduler = schedulers.create("local-search", ARCH, max_evaluations=100)
+        assert isinstance(scheduler, LocalSearchScheduler)
+        assert scheduler.max_evaluations == 100
+
+    def test_schedules_conv_and_matmul(self):
+        scheduler = small_scheduler()
+        for layer in (
+            layer_from_name("3_7_64_64_1"),
+            matmul(m=64, n=256, k=256, name="ls_matmul"),
+        ):
+            outcome = scheduler.schedule_outcome(layer)
+            assert outcome.succeeded, layer.name
+            outcome.mapping.validate_against_layer()
+            result = scheduler.schedule(layer)
+            assert result.cost.valid
+            assert result.num_evaluated <= scheduler.max_evaluations
+
+    def test_runs_through_the_declarative_api(self):
+        result = run(RunSpec.from_dict(LOCAL_SEARCH_SPEC))
+        assert result.data["succeeded"] is True
+        assert result.data["outcomes"][0]["scheduler"] == "local-search"
+
+    def test_respects_engine_kernel_backend_spec(self):
+        spec = RunSpec.from_dict(
+            {**LOCAL_SEARCH_SPEC, "engine": {"kernel_backend": "numpy"}}
+        )
+        result = run(spec)
+        assert result.data["succeeded"] is True
+        assert result.artifacts["scheduler"].kernel_backend == "numpy"
+
+
+class TestOutcomeInvariance:
+    def test_use_delta_is_a_pure_speed_knob(self):
+        layer = layer_from_name("3_14_32_64_1")
+        with_delta = small_scheduler(use_delta=True)
+        without = small_scheduler(use_delta=False)
+        a = with_delta.schedule(layer)
+        b = without.schedule(layer)
+        assert mapping_to_dict(a.mapping) == mapping_to_dict(b.mapping)
+        assert a.cost.latency == b.cost.latency
+        assert a.num_evaluated == b.num_evaluated
+        # ... which is why the knob stays out of the cache-key fingerprint.
+        assert with_delta.config_fingerprint() == without.config_fingerprint()
+        assert "use_delta" not in with_delta._config()
+
+    def test_batch_size_and_backend_do_not_change_the_winner(self):
+        layer = layer_from_name("3_14_32_64_1")
+        reference = small_scheduler().schedule(layer)
+        for overrides in (
+            {"eval_batch_size": 8},
+            {"eval_batch_size": 256},
+            {"kernel_backend": "numba"},  # falls back to numpy when absent
+            {"kernel_backend": "off"},  # plain batched / scalar path
+        ):
+            result = small_scheduler(**overrides).schedule(layer)
+            assert mapping_to_dict(result.mapping) == mapping_to_dict(reference.mapping), overrides
+            assert result.cost.latency == reference.cost.latency
+
+    def test_fingerprint_ignores_execution_knobs_when_budget_free(self):
+        reference = small_scheduler().config_fingerprint()
+        assert small_scheduler(kernel_backend="numba").config_fingerprint() == reference
+        assert small_scheduler(eval_batch_size=16).config_fingerprint() == reference
+        # Result-determining knobs do split the fingerprint.
+        assert small_scheduler(seed=9).config_fingerprint() != reference
+        assert small_scheduler(moves_per_step=4).config_fingerprint() != reference
+
+    def test_fingerprint_includes_backend_under_a_time_budget(self):
+        # With a wall-clock budget the backend changes how far the search
+        # gets, so it becomes result-determining — exactly like batch size.
+        budgeted = small_scheduler(time_budget_seconds=60.0)
+        other = small_scheduler(time_budget_seconds=60.0, kernel_backend="numba")
+        assert budgeted.config_fingerprint() != other.config_fingerprint()
+
+
+class TestBeatsRandomAtEqualBudget:
+    def test_never_worse_on_resnet50_layers(self):
+        budget = 1200
+        wins = 0
+        for name in (
+            "3_56_64_64_1",
+            "1_28_128_512_1",
+            "3_14_256_256_1",
+            "1_7_512_2048_1",
+        ):
+            layer = layer_from_name(name)
+            local = LocalSearchScheduler(ARCH, max_evaluations=budget, seed=0).schedule(layer)
+            rand = RandomScheduler(
+                ARCH, num_valid=budget, max_attempts=budget, seed=0
+            ).schedule(layer)
+            assert local.num_evaluated <= budget
+            assert local.cost.latency <= rand.cost.latency, name
+            wins += local.cost.latency < rand.cost.latency
+        assert wins >= 1, "guided search should strictly beat random somewhere"
+
+
+class TestSpecAndStoreIdentity:
+    def test_engine_spec_serialization_is_legacy_identical_when_unset(self):
+        assert "kernel_backend" not in EngineSpec().to_dict()
+        roundtrip = EngineSpec.from_dict({"kernel_backend": "numba"})
+        assert roundtrip.kernel_backend == "numba"
+        assert roundtrip.to_dict()["kernel_backend"] == "numba"
+        with pytest.raises(ValueError, match="kernel_backend must be one of"):
+            EngineSpec(kernel_backend="cuda")
+
+    def test_spec_fingerprint_ignores_kernel_backend(self):
+        base = RunSpec.from_dict(LOCAL_SEARCH_SPEC)
+        numpy_spec = RunSpec.from_dict(
+            {**LOCAL_SEARCH_SPEC, "engine": {"kernel_backend": "numpy"}}
+        )
+        numba_spec = RunSpec.from_dict(
+            {**LOCAL_SEARCH_SPEC, "engine": {"kernel_backend": "numba"}}
+        )
+        assert spec_fingerprint(base) == spec_fingerprint(numpy_spec)
+        assert spec_fingerprint(base) == spec_fingerprint(numba_spec)
+
+    def test_backend_switch_is_a_store_hit(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        numpy_spec = RunSpec.from_dict(
+            {**LOCAL_SEARCH_SPEC, "engine": {"kernel_backend": "numpy"}}
+        )
+        numba_spec = RunSpec.from_dict(
+            {**LOCAL_SEARCH_SPEC, "engine": {"kernel_backend": "numba"}}
+        )
+        with SchedulingService(max_workers=1, store=store) as service:
+            first = service.submit(numpy_spec)
+            first.result(timeout=300)
+            second = service.submit(numba_spec)
+            second.result(timeout=300)
+        assert store.stats.puts == 1
+        assert store.stats.hits == 1
+
+
+class TestEngineOverride:
+    def test_override_applies_to_budget_free_scheduler(self):
+        scheduler = small_scheduler()
+        before = scheduler.config_fingerprint()
+        SchedulingEngine(scheduler, kernel_backend="numba")
+        assert scheduler.kernel_backend == "numba"
+        assert scheduler.config_fingerprint() == before
+
+    def test_refuses_to_rekey_budget_capped_scheduler(self):
+        scheduler = small_scheduler(time_budget_seconds=1.0)
+        with pytest.raises(ValueError, match="budget-capped"):
+            SchedulingEngine(scheduler, kernel_backend="numba")
+        # A no-op override (same resolved value) is allowed.
+        SchedulingEngine(scheduler, kernel_backend="numpy")
+        assert scheduler.kernel_backend == "numpy"
+
+    def test_engine_rejects_unknown_backend(self):
+        with pytest.raises(ValueError, match="unknown kernel backend"):
+            SchedulingEngine(small_scheduler(), kernel_backend="cuda")
+
+
+class TestKnobValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"max_evaluations": 0},
+            {"init_samples": 0},
+            {"moves_per_step": 0},
+            {"weight_transfer": -0.5},
+            {"weight_increment": -1.0},
+            {"perturbation": 1.5},
+            {"restart_after": 0},
+            {"utilization_target": 2.0},
+            {"metric": "throughput"},
+        ],
+    )
+    def test_bad_knobs_are_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            LocalSearchScheduler(ARCH, **kwargs)
