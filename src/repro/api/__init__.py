@@ -19,7 +19,13 @@ contract:
   ``cancel()`` and live typed events (:mod:`repro.api.events`), backed by a
   bounded worker pool and the content-addressed on-disk
   :class:`~repro.api.store.ResultStore` (``run()`` is a thin synchronous
-  wrapper over ``submit().result()``).
+  wrapper over ``submit().result()``),
+* :mod:`repro.api.gateway` — the multi-tenant HTTP/JSON front door over the
+  service (stdlib ``http.server``): per-tenant stores and job namespaces,
+  API-key auth (:mod:`repro.api.auth`), token-bucket admission control
+  (:mod:`repro.api.ratelimit`), a weighted interactive/batch priority
+  queue, and chunked NDJSON event streaming; :mod:`repro.api.client` is
+  the matching stdlib client (``repro submit --server URL``).
 
 Quickstart::
 
@@ -119,8 +125,20 @@ __all__ = [
     "JobState",
     "JobCancelled",
     "JobTimeout",
+    "FIFOJobQueue",
+    "TwoLevelPriorityQueue",
     "ResultStore",
+    "StoreRecordWarning",
     "spec_fingerprint",
+    # gateway layer (lazy)
+    "SchedulingGateway",
+    "GatewayClient",
+    "GatewayError",
+    "ApiKeyAuth",
+    "AuthenticationError",
+    "AuthorizationError",
+    "RateLimiter",
+    "TokenBucket",
     # event protocol (lazy)
     "EVENT_SCHEMA_VERSION",
     "Event",
@@ -150,8 +168,19 @@ _LAZY = {
     "JobState": "repro.api.service",
     "JobCancelled": "repro.api.service",
     "JobTimeout": "repro.api.service",
+    "FIFOJobQueue": "repro.api.service",
+    "TwoLevelPriorityQueue": "repro.api.service",
     "ResultStore": "repro.api.store",
+    "StoreRecordWarning": "repro.api.store",
     "spec_fingerprint": "repro.api.store",
+    "SchedulingGateway": "repro.api.gateway",
+    "GatewayClient": "repro.api.client",
+    "GatewayError": "repro.api.client",
+    "ApiKeyAuth": "repro.api.auth",
+    "AuthenticationError": "repro.api.auth",
+    "AuthorizationError": "repro.api.auth",
+    "RateLimiter": "repro.api.ratelimit",
+    "TokenBucket": "repro.api.ratelimit",
     "EVENT_SCHEMA_VERSION": "repro.api.events",
     "Event": "repro.api.events",
     "RunQueued": "repro.api.events",

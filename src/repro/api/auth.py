@@ -1,0 +1,102 @@
+"""API-key authentication for the multi-tenant scheduling gateway.
+
+The gateway's tenancy model is deliberately small: a JSON config file maps
+**API keys to tenant names**, every ``/v1/{tenant}/...`` request must carry
+a key (``Authorization: Bearer <key>`` or ``X-API-Key: <key>``), and the
+key's tenant must match the tenant in the URL.  The two failure modes map
+onto the two HTTP statuses:
+
+* :class:`AuthenticationError` (**401**) — no key, or a key nobody knows;
+* :class:`AuthorizationError` (**403**) — a valid key for a *different*
+  tenant (cross-tenant access is never allowed, not even read-only).
+
+Keys file format (either shape)::
+
+    {"alice-key": "acme", "bob-key": "bobco"}
+    {"keys": {"alice-key": "acme", "bob-key": "bobco"}}
+
+Run the gateway without a keys file and authentication is off entirely —
+every URL tenant is accepted verbatim.  That is the single-user/dev mode;
+anything network-facing should ship a keys file.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Mapping
+
+
+class AuthError(Exception):
+    """Base class of both gateway auth failures."""
+
+    #: HTTP status the gateway maps this error onto.
+    status = 401
+
+
+class AuthenticationError(AuthError):
+    """The request carried no API key, or an unknown one (HTTP 401)."""
+
+    status = 401
+
+
+class AuthorizationError(AuthError):
+    """A valid key tried to reach another tenant's namespace (HTTP 403)."""
+
+    status = 403
+
+
+class ApiKeyAuth:
+    """Key → tenant lookup table with the gateway's authorize contract."""
+
+    def __init__(self, keys: Mapping[str, str]):
+        if not keys:
+            raise ValueError("auth config must define at least one API key")
+        for key, tenant in keys.items():
+            if not isinstance(key, str) or not key:
+                raise ValueError(f"API keys must be non-empty strings, got {key!r}")
+            if not isinstance(tenant, str) or not tenant:
+                raise ValueError(
+                    f"tenant for key {key!r} must be a non-empty string, got {tenant!r}"
+                )
+        self._keys = dict(keys)
+
+    @classmethod
+    def from_file(cls, path: str | Path) -> "ApiKeyAuth":
+        """Load a keys file (flat mapping, or nested under ``"keys"``)."""
+        text = Path(path).read_text()
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as error:
+            raise ValueError(f"keys file {path} is not valid JSON: {error}") from None
+        if not isinstance(data, dict):
+            raise ValueError(f"keys file {path} must hold a JSON object")
+        if isinstance(data.get("keys"), dict):
+            data = data["keys"]
+        return cls(data)
+
+    @property
+    def tenants(self) -> tuple[str, ...]:
+        """Every tenant at least one key maps to, sorted."""
+        return tuple(sorted(set(self._keys.values())))
+
+    def tenant_for(self, key: str) -> str | None:
+        """The tenant a key belongs to, or ``None`` for unknown keys."""
+        return self._keys.get(key)
+
+    def authorize(self, key: str | None, tenant: str) -> str:
+        """Check ``key`` against ``tenant`` and return the tenant.
+
+        Raises :class:`AuthenticationError` for missing/unknown keys and
+        :class:`AuthorizationError` when the key belongs to another tenant.
+        """
+        if not key:
+            raise AuthenticationError("missing API key")
+        owner = self._keys.get(key)
+        if owner is None:
+            raise AuthenticationError("unknown API key")
+        if owner != tenant:
+            raise AuthorizationError(
+                f"API key is not authorized for tenant {tenant!r}"
+            )
+        return owner

@@ -1,0 +1,145 @@
+"""Thin stdlib HTTP client for the scheduling gateway.
+
+:class:`GatewayClient` speaks the wire protocol of
+:mod:`repro.api.gateway` — submit a spec, list jobs, follow the chunked
+NDJSON event stream, fetch the stored envelope — using nothing but
+:mod:`urllib`.  The CLI's ``submit`` / ``jobs`` / ``result`` verbs route
+through it when ``--server URL`` is given, so the shell workflow is
+identical whether the service is in-process or across the network.
+
+Quickstart::
+
+    from repro.api import RunSpec
+    from repro.api.client import GatewayClient
+
+    client = GatewayClient("http://127.0.0.1:8123", tenant="acme", api_key="k1")
+    record = client.submit(RunSpec.from_dict({...}))
+    for event in client.events(record["job_id"]):   # streams live NDJSON
+        print(event["event"])
+    result = client.result(record["job_id"])        # a parsed RunResult
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+from typing import Iterator
+
+from repro.api.result import RunResult
+from repro.api.specs import RunSpec
+
+
+class GatewayError(RuntimeError):
+    """A non-2xx gateway response, carrying the HTTP status and payload."""
+
+    def __init__(self, status: int, message: str, retry_after: float | None = None):
+        super().__init__(message)
+        self.status = status
+        #: Seconds the server asked to wait (from ``Retry-After``, 429s).
+        self.retry_after = retry_after
+
+
+class GatewayClient:
+    """Client for one tenant's namespace on one gateway."""
+
+    def __init__(
+        self,
+        base_url: str,
+        tenant: str = "default",
+        api_key: str | None = None,
+        timeout: float = 600.0,
+    ):
+        self.base_url = base_url.rstrip("/")
+        self.tenant = tenant
+        self.api_key = api_key
+        self.timeout = timeout
+
+    # -------------------------------------------------------------- plumbing
+    def _request(self, method: str, path: str, payload=None):
+        body = None
+        headers = {"Accept": "application/json"}
+        if self.api_key:
+            headers["Authorization"] = f"Bearer {self.api_key}"
+        if payload is not None:
+            body = json.dumps(payload).encode()
+            headers["Content-Type"] = "application/json"
+        request = urllib.request.Request(
+            f"{self.base_url}{path}", data=body, headers=headers, method=method
+        )
+        try:
+            return urllib.request.urlopen(request, timeout=self.timeout)
+        except urllib.error.HTTPError as error:
+            raise self._to_gateway_error(error) from None
+
+    @staticmethod
+    def _to_gateway_error(error: urllib.error.HTTPError) -> GatewayError:
+        message = f"HTTP {error.code}"
+        try:
+            detail = json.loads(error.read().decode())
+            message = detail["error"]["message"]
+        except Exception:
+            pass
+        retry_after = error.headers.get("Retry-After")
+        return GatewayError(
+            error.code,
+            message,
+            retry_after=float(retry_after) if retry_after else None,
+        )
+
+    def _json(self, method: str, path: str, payload=None):
+        with self._request(method, path, payload) as response:
+            return json.loads(response.read().decode())
+
+    def _tenant_path(self, suffix: str = "") -> str:
+        return f"/v1/{self.tenant}/jobs{suffix}"
+
+    # ------------------------------------------------------------- endpoints
+    def health(self) -> dict:
+        return self._json("GET", "/healthz")
+
+    def registry(self) -> dict:
+        return self._json("GET", "/v1/registry")
+
+    def submit(self, spec: RunSpec | dict, priority: str = "interactive") -> dict:
+        """Submit a spec; returns the queued job record (non-blocking)."""
+        if isinstance(spec, RunSpec):
+            spec = spec.to_dict()
+        return self._json(
+            "POST", self._tenant_path(f"?priority={priority}"), payload=spec
+        )
+
+    def jobs(self) -> list[dict]:
+        return self._json("GET", self._tenant_path())["jobs"]
+
+    def job(self, job_id: str) -> dict:
+        return self._json("GET", self._tenant_path(f"/{job_id}"))
+
+    def events(self, job_id: str) -> Iterator[dict]:
+        """Stream the job's NDJSON events, parsed, until the stream ends.
+
+        For a queued or running job this blocks on the live stream and ends
+        with the terminal ``run_finished``/``run_failed`` event; for a
+        finished job it replays the persisted log.
+        """
+        with self._request("GET", self._tenant_path(f"/{job_id}/events")) as response:
+            for line in response:
+                line = line.strip()
+                if line:
+                    yield json.loads(line.decode())
+
+    def result(self, job_id: str) -> RunResult:
+        """The stored envelope of a finished job, parsed."""
+        return RunResult.from_json(self.result_text(job_id))
+
+    def result_text(self, job_id: str) -> str:
+        """The stored envelope verbatim — byte-identical to ``run()``'s."""
+        with self._request("GET", self._tenant_path(f"/{job_id}/result")) as response:
+            return response.read().decode()
+
+    def wait(self, job_id: str) -> dict:
+        """Block until the job is terminal; returns the final job record."""
+        for event in self.events(job_id):
+            if event["event"] in ("run_finished", "run_failed"):
+                break
+        return self.job(job_id)

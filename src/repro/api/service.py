@@ -49,6 +49,7 @@ from __future__ import annotations
 
 import queue
 import threading
+from collections import deque
 from enum import Enum
 from pathlib import Path
 from typing import Callable, Iterator
@@ -80,6 +81,9 @@ class JobState(str, Enum):
 #: States a job can never leave.
 TERMINAL_STATES = (JobState.DONE, JobState.FAILED, JobState.CANCELLED)
 
+#: Valid ``submit(priority=...)`` levels, highest first.
+PRIORITIES = ("interactive", "batch")
+
 
 class JobCancelled(RuntimeError):
     """Raised by :meth:`Job.result` when the job was cancelled."""
@@ -102,12 +106,15 @@ class Job:
         spec: RunSpec,
         fingerprint: str,
         on_event: Callable[[Event], None] | None = None,
+        priority: str = "interactive",
     ):
         self.id = job_id
         self.spec = spec
         self.fingerprint = fingerprint
+        self.priority = priority
         self.state = JobState.QUEUED
-        #: ``True`` when the result was served from the result store.
+        #: ``True`` when the result was served from the result store — or
+        #: from an identical in-flight job (single-flight dedup).
         self.store_hit = False
         #: The original exception of a failed job.
         self.error: BaseException | None = None
@@ -117,8 +124,18 @@ class Job:
         self._log: list[Event] = []
         self._subscribers: list[queue.SimpleQueue] = []
         self._on_event = on_event
+        #: The store this job records to (per-job: the gateway gives every
+        #: tenant its own subtree on one shared service).
+        self._store: "ResultStore | None" = None
+        #: Single-flight bookkeeping: the dedup key this job flies under and
+        #: identical-spec jobs waiting on this one (guarded by the service
+        #: lock, not the job lock).
+        self._flight_key: tuple = (None, fingerprint)
+        self._followers: list["Job"] = []
         #: Persists the job record; installed by the owning service.
         self._record: Callable[["Job"], None] = lambda job: None
+        #: Releases single-flight followers; installed by the owning service.
+        self._settle: Callable[["Job"], None] = lambda job: None
 
     def __repr__(self) -> str:
         return f"Job(id={self.id!r}, kind={self.spec.kind!r}, state={self.state.value!r})"
@@ -214,7 +231,8 @@ class Job:
         streams drain, and the persisted job record is updated); ``False``
         when it already runs or finished — in-flight solves are never
         interrupted.  The worker that eventually dequeues a cancelled job
-        skips it.
+        skips it; identical-spec jobs deduplicated onto a cancelled job are
+        re-queued to run on their own.
         """
         with self._lock:
             if self.state is not JobState.QUEUED:
@@ -229,6 +247,7 @@ class Job:
         finally:
             self._record(self)
             self._done.set()
+            self._settle(self)
         return True
 
     # ------------------------------------------------------------- persistence
@@ -238,6 +257,7 @@ class Job:
             "job_id": self.id,
             "state": self.state.value,
             "kind": self.spec.kind,
+            "priority": self.priority,
             "spec_fingerprint": self.fingerprint,
             "store_hit": self.store_hit,
             "error": None
@@ -250,6 +270,93 @@ class Job:
 
 #: Queue sentinel telling a worker thread to exit.
 _SHUTDOWN = object()
+
+
+class FIFOJobQueue:
+    """The default job queue: strict submission order.
+
+    Items without a ``priority`` attribute (the service's shutdown
+    sentinels) go to a separate drain lane handed out only once the job
+    lane is empty, so ``shutdown(wait=True)`` always lets queued jobs
+    finish first — even when a racing submit enqueues after the sentinels
+    were posted.
+    """
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._not_empty = threading.Condition(self._lock)
+        self._jobs: deque = deque()
+        self._drain: deque = deque()
+
+    def put(self, item) -> None:
+        with self._not_empty:
+            lane = self._jobs if hasattr(item, "priority") else self._drain
+            lane.append(item)
+            self._not_empty.notify()
+
+    def get(self):
+        with self._not_empty:
+            while True:
+                if self._jobs:
+                    return self._jobs.popleft()
+                if self._drain:
+                    return self._drain.popleft()
+                self._not_empty.wait()
+
+
+class TwoLevelPriorityQueue:
+    """Weighted two-level (``interactive`` / ``batch``) job queue.
+
+    Dequeueing prefers the interactive lane, but out of every
+    ``interactive_weight + 1`` dequeues with both lanes occupied one comes
+    from the batch lane — interactive submissions are never stuck behind a
+    1000-layer sweep, and the sweep still makes progress underneath a
+    steady interactive stream.  Jobs carry their lane in ``Job.priority``
+    (anything unknown counts as ``batch``); items without a ``priority``
+    attribute are shutdown sentinels and drain only once both lanes are
+    empty, preserving :class:`FIFOJobQueue`'s shutdown semantics.
+    """
+
+    def __init__(self, interactive_weight: int = 4):
+        if interactive_weight < 1:
+            raise ValueError(
+                f"interactive_weight must be >= 1, got {interactive_weight}"
+            )
+        self.interactive_weight = interactive_weight
+        self._lock = threading.Lock()
+        self._not_empty = threading.Condition(self._lock)
+        self._interactive: deque = deque()
+        self._batch: deque = deque()
+        self._drain: deque = deque()
+        self._streak = 0  # consecutive interactive dequeues
+
+    def put(self, item) -> None:
+        priority = getattr(item, "priority", None)
+        with self._not_empty:
+            if priority is None:
+                self._drain.append(item)
+            elif priority == "interactive":
+                self._interactive.append(item)
+            else:
+                self._batch.append(item)
+            self._not_empty.notify()
+
+    def get(self):
+        with self._not_empty:
+            while True:
+                if self._interactive or self._batch:
+                    serve_batch = bool(self._batch) and (
+                        not self._interactive
+                        or self._streak >= self.interactive_weight
+                    )
+                    if serve_batch:
+                        self._streak = 0
+                        return self._batch.popleft()
+                    self._streak += 1
+                    return self._interactive.popleft()
+                if self._drain:
+                    return self._drain.popleft()
+                self._not_empty.wait()
 
 
 class SchedulingService:
@@ -265,7 +372,12 @@ class SchedulingService:
         which constructs one): finished envelopes are persisted under the
         spec fingerprint, resubmissions of identical specs become store
         hits, and job records survive the process for ``repro jobs`` /
-        ``repro result``.
+        ``repro result``.  ``submit(store=...)`` overrides it per job — how
+        the gateway keeps tenants in separate subtrees on one worker pool.
+    job_queue:
+        The queue workers drain; defaults to :class:`FIFOJobQueue`.  The
+        gateway passes a :class:`TwoLevelPriorityQueue` so interactive
+        submissions overtake batch sweeps.
 
     The service is a context manager; leaving the block waits for running
     jobs and shuts the pool down.  Workers are daemon threads, so an
@@ -274,14 +386,19 @@ class SchedulingService:
     for a clean hand-over.
     """
 
-    def __init__(self, max_workers: int = 2, store: ResultStore | str | Path | None = None):
+    def __init__(
+        self,
+        max_workers: int = 2,
+        store: ResultStore | str | Path | None = None,
+        job_queue=None,
+    ):
         if max_workers < 1:
             raise ValueError(f"max_workers must be >= 1, got {max_workers}")
         if isinstance(store, (str, Path)):
             store = ResultStore(store)
         self.store = store
         self.max_workers = max_workers
-        self._queue: queue.SimpleQueue = queue.SimpleQueue()
+        self._queue = job_queue if job_queue is not None else FIFOJobQueue()
         self._workers = [
             threading.Thread(
                 target=self._worker_loop, name=f"repro-service-{index}", daemon=True
@@ -291,6 +408,8 @@ class SchedulingService:
         for worker in self._workers:
             worker.start()
         self._jobs: dict[str, Job] = {}
+        #: Single-flight leaders by ``Job._flight_key``; guarded by ``_lock``.
+        self._inflight: dict[tuple, Job] = {}
         self._lock = threading.Lock()
         self._counter = 0
         self._closed = False
@@ -303,54 +422,124 @@ class SchedulingService:
         self.shutdown(wait=True)
 
     def shutdown(self, wait: bool = True) -> None:
-        """Stop accepting jobs and (optionally) wait for queued/running ones."""
+        """Stop accepting jobs and (optionally) wait for queued/running ones.
+
+        Closing and posting the worker sentinels happen under one lock
+        acquisition, so a racing ``submit`` either lands before the
+        sentinels (and its job drains normally) or observes the closed flag
+        and raises — a job can never be enqueued behind the sentinels and
+        silently hang.
+        """
         with self._lock:
             if self._closed:
                 return
             self._closed = True
-        for _ in self._workers:
-            self._queue.put(_SHUTDOWN)
+            for _ in self._workers:
+                self._queue.put(_SHUTDOWN)
         if wait:
             for worker in self._workers:
                 worker.join()
 
     # ------------------------------------------------------------- submission
-    def submit(self, spec: RunSpec, on_event: Callable[[Event], None] | None = None) -> Job:
+    _STORE_UNSET = object()
+
+    def submit(
+        self,
+        spec: RunSpec,
+        on_event: Callable[[Event], None] | None = None,
+        *,
+        priority: str = "interactive",
+        store=_STORE_UNSET,
+    ) -> Job:
         """Queue one spec for execution and return its :class:`Job`.
 
         ``on_event`` is invoked synchronously for every event the job emits:
         ``run_queued`` from this call, everything later from the worker
         thread.  An ``on_event`` exception during ``run_queued`` aborts the
         submission (the job is unregistered and the exception propagates).
+
+        ``priority`` labels the job's queue lane (``"interactive"`` or
+        ``"batch"``; only meaningful with a priority-aware ``job_queue``).
+        ``store`` overrides the service store for this job — ``None``
+        disables persistence, a path or :class:`ResultStore` redirects it
+        (the gateway's per-tenant subtrees).
+
+        Identical-spec submissions are **single-flighted**: while a job with
+        the same spec fingerprint (and store) is queued or running, a new
+        submission does not execute — it waits on the in-flight job, shares
+        its result and reports ``store_hit`` — so a stampede of identical
+        sweeps costs one solve.  Record I/O happens outside the service
+        lock, so ``job()``/``jobs()`` inspection never blocks on disk.
         """
         if not isinstance(spec, RunSpec):
             raise TypeError(f"submit() expects a RunSpec, got {type(spec).__name__}")
+        if priority not in PRIORITIES:
+            raise ValueError(
+                f"priority must be one of {', '.join(PRIORITIES)}, got {priority!r}"
+            )
+        job_store = self.store if store is self._STORE_UNSET else store
+        if isinstance(job_store, (str, Path)):
+            job_store = ResultStore(job_store)
         fingerprint = spec_fingerprint(spec)
         with self._lock:
             if self._closed:
                 raise RuntimeError("cannot submit to a shut-down SchedulingService")
-            if self.store is not None:
-                job_id = self.store.allocate_job_id(fingerprint)
-            else:
+        if job_store is not None:
+            job_id = job_store.allocate_job_id(fingerprint)
+        else:
+            with self._lock:
                 self._counter += 1
                 job_id = f"job-{self._counter:06d}-{fingerprint[:12]}"
-            job = Job(job_id, spec, fingerprint, on_event=on_event)
-            job._record = self._record
-            self._jobs[job.id] = job
-            self._record(job)
+        job = Job(job_id, spec, fingerprint, on_event=on_event, priority=priority)
+        job._store = job_store
+        job._flight_key = (
+            None if job_store is None else str(job_store.root.resolve()),
+            fingerprint,
+        )
+        job._record = self._record
+        job._settle = self._settle_followers
+        self._record(job)
         try:
             job._emit(RunQueued, kind=spec.kind, spec_fingerprint=fingerprint)
         except BaseException:
-            # The subscriber died before the job ever queued: unregister so
-            # nothing waits on a job that will never run.
-            with self._lock:
-                self._jobs.pop(job.id, None)
+            # The subscriber died before the job ever queued: fail it without
+            # registering, so nothing waits on a job that will never run.
             job.error = JobCancelled(f"job {job.id} aborted during run_queued emission")
             with job._lock:
                 job.state = JobState.FAILED
             job._done.set()
             raise
-        self._queue.put(job)
+        with self._lock:
+            if self._closed:
+                # Lost the race against shutdown(): the sentinels are already
+                # posted, so this job must not be enqueued.  Cancel it so
+                # event streams drain and the record is terminal.
+                with job._lock:
+                    job.state = JobState.CANCELLED
+                enqueue = False
+            else:
+                self._jobs[job.id] = job
+                leader = self._inflight.get(job._flight_key)
+                if leader is not None and not leader.done:
+                    leader._followers.append(job)  # single-flight: wait on it
+                    enqueue = False
+                else:
+                    self._inflight[job._flight_key] = job
+                    enqueue = True
+                    self._queue.put(job)
+        if job.state is JobState.CANCELLED:
+            try:
+                job._emit(
+                    RunFailed,
+                    error_type=JobCancelled.__name__,
+                    error_message="service shut down during submission",
+                )
+            finally:
+                self._record(job)
+                job._done.set()
+            raise RuntimeError("cannot submit to a shut-down SchedulingService")
+        if not enqueue:
+            self._record(job)  # record the deduplicated (waiting) job
         return job
 
     # -------------------------------------------------------------- inspection
@@ -370,9 +559,9 @@ class SchedulingService:
 
     # --------------------------------------------------------------- execution
     def _record(self, job: Job) -> None:
-        if self.store is not None:
-            self.store.record_job(job.to_dict())
-            self.store.record_events(job.id, job.event_log)
+        if job._store is not None:
+            job._store.record_job(job.to_dict())
+            job._store.record_events(job.id, job.event_log)
 
     def _worker_loop(self) -> None:
         while True:
@@ -396,8 +585,8 @@ class SchedulingService:
             job._emit(RunStarted)
             result = None
             store_hit = False
-            if self.store is not None:
-                result = self.store.get(job.spec, job.fingerprint)
+            if job._store is not None:
+                result = job._store.get(job.spec, job.fingerprint)
                 store_hit = result is not None
             if result is None:
                 from repro.api import runner
@@ -406,8 +595,8 @@ class SchedulingService:
                     job.spec,
                     emit_layer=lambda payload: job._emit(LayerScheduled, **payload),
                 )
-                if self.store is not None:
-                    self.store.put(result, job.fingerprint)
+                if job._store is not None:
+                    job._store.put(result, job.fingerprint)
             job._result = result
             job.store_hit = store_hit
             with job._lock:
@@ -423,6 +612,7 @@ class SchedulingService:
             finally:
                 self._record(job)
                 job._done.set()
+                self._settle_followers(job)
             return
         # Success: emit the terminal event *after* the DONE transition, and
         # release waiters even when a subscriber raises on it (the event is
@@ -432,3 +622,61 @@ class SchedulingService:
         finally:
             self._record(job)
             job._done.set()
+            self._settle_followers(job)
+
+    # ----------------------------------------------------------- single-flight
+    def _settle_followers(self, leader: Job) -> None:
+        """Release jobs deduplicated onto ``leader`` once it turns terminal.
+
+        A DONE leader completes its followers in place (they share the
+        result object and report ``store_hit``); a failed or cancelled
+        leader re-queues them, so a duplicate submission is never poisoned
+        by its leader's cancellation.
+        """
+        with self._lock:
+            if self._inflight.get(leader._flight_key) is leader:
+                del self._inflight[leader._flight_key]
+            followers = list(leader._followers)
+            leader._followers.clear()
+        if not followers:
+            return
+        if leader.state is JobState.DONE:
+            for follower in followers:
+                try:
+                    self._complete_follower(follower, leader)
+                except BaseException:
+                    # A subscriber blowing up on one follower's terminal
+                    # event must not strand the remaining followers.
+                    pass
+            return
+        for follower in followers:
+            with self._lock:
+                current = self._inflight.get(follower._flight_key)
+                if current is not None and not current.done:
+                    current._followers.append(follower)
+                else:
+                    self._inflight[follower._flight_key] = follower
+                    self._queue.put(follower)
+
+    def _complete_follower(self, follower: Job, leader: Job) -> None:
+        """Finish ``follower`` with its leader's result, store-hit style."""
+        with follower._lock:
+            if follower.state is not JobState.QUEUED:  # cancelled while waiting
+                return
+            follower.state = JobState.RUNNING
+        assert leader._result is not None
+        try:
+            follower._emit(RunStarted)
+        except BaseException:
+            pass  # a dead subscriber must not lose the shared result
+        follower._result = leader._result
+        follower.store_hit = True
+        with follower._lock:
+            follower.state = JobState.DONE
+        try:
+            follower._emit(
+                RunFinished, store_hit=True, result=leader._result.to_dict()
+            )
+        finally:
+            self._record(follower)
+            follower._done.set()

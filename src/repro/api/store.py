@@ -27,11 +27,21 @@ Job records (:class:`~repro.api.service.SchedulingService` bookkeeping for
 <root>/jobs/<job_id>.json              # job records
 <root>/jobs/<job_id>.events.ndjson     # one serialized event per line
 ```
+
+Record repair semantics: a job record that cannot be parsed (empty,
+truncated, or not a JSON object — e.g. a process that crashed between
+reserving an id and writing the placeholder, or a reader racing that window)
+is **skipped with a** :class:`StoreRecordWarning` by :meth:`ResultStore.load_jobs`
+and treated as unknown by :meth:`ResultStore.load_job`, so one bad file never
+takes down job listings for the whole store.  The next ``record_job`` for
+that id rewrites the file atomically and repairs it.
 """
 
 from __future__ import annotations
 
 import json
+import threading
+import warnings
 from dataclasses import dataclass
 from pathlib import Path
 
@@ -59,6 +69,10 @@ def spec_fingerprint(spec: RunSpec) -> str:
     return stable_digest(payload)
 
 
+class StoreRecordWarning(RuntimeWarning):
+    """An on-disk job record was unreadable and has been skipped."""
+
+
 @dataclass
 class StoreStats:
     """Hit/miss counters of one :class:`ResultStore` instance."""
@@ -79,11 +93,22 @@ class ResultStore:
     root:
         Directory holding the store (created on first write).  One store may
         be shared by many services and processes; every write is atomic.
+    job_prefix:
+        Optional prefix minted into every job id (``<prefix>job-000001-…``).
+        The gateway uses it to give each tenant a distinct id namespace, so
+        an id names its tenant even outside the tenant's store subtree.
     """
 
-    def __init__(self, root: str | Path):
+    def __init__(self, root: str | Path, job_prefix: str = ""):
         self.root = Path(root)
+        self.job_prefix = job_prefix
         self.stats = StoreStats()
+        self._alloc_lock = threading.Lock()
+        #: Cached next job ordinal; ``None`` until the first allocation scans
+        #: the directory once.  Cross-process safety still comes from the
+        #: ``O_EXCL`` reservation loop, the cache only kills the per-submit
+        #: O(n) re-glob.
+        self._next_ordinal: int | None = None
 
     @property
     def results_dir(self) -> Path:
@@ -129,6 +154,16 @@ class ResultStore:
         return sum(1 for _ in self.results_dir.glob("*.json"))
 
     # ------------------------------------------------------------ job records
+    def _scan_next_ordinal(self) -> int:
+        """One directory scan for the highest minted ordinal, plus one."""
+        highest = 0
+        start = len(self.job_prefix) + len("job-")
+        for path in self.jobs_dir.glob(f"{self.job_prefix}job-*.json"):
+            digits = path.name[start : start + 6]
+            if digits.isdigit():
+                highest = max(highest, int(digits))
+        return highest + 1
+
     def allocate_job_id(self, fingerprint: str) -> str:
         """Mint the next job id: a 1-based ordinal plus the spec fingerprint.
 
@@ -137,41 +172,73 @@ class ResultStore:
         is *reserved* by exclusively creating its record file, so concurrent
         services sharing one store directory can never mint the same id and
         overwrite each other's records (``O_EXCL`` arbitrates; losers retry
-        with the next ordinal).
+        with the next ordinal).  The next ordinal is cached per store
+        instance — the directory is scanned once, not on every submit — and
+        the ``O_EXCL`` loop re-synchronizes the cache whenever another
+        process minted ids in the meantime.
         """
-        self.jobs_dir.mkdir(parents=True, exist_ok=True)
-        index = len(list(self.jobs_dir.glob("job-*.json"))) + 1
-        while True:
-            job_id = f"job-{index:06d}-{fingerprint[:12]}"
-            try:
-                with open(self.jobs_dir / f"{job_id}.json", "x") as handle:
-                    handle.write("{}\n")  # placeholder until record_job runs
+        with self._alloc_lock:
+            self.jobs_dir.mkdir(parents=True, exist_ok=True)
+            if self._next_ordinal is None:
+                self._next_ordinal = self._scan_next_ordinal()
+            index = self._next_ordinal
+            while True:
+                job_id = f"{self.job_prefix}job-{index:06d}-{fingerprint[:12]}"
+                try:
+                    with open(self.jobs_dir / f"{job_id}.json", "x") as handle:
+                        handle.write("{}\n")  # placeholder until record_job runs
+                except FileExistsError:
+                    index += 1
+                    continue
+                self._next_ordinal = index + 1
                 return job_id
-            except FileExistsError:
-                index += 1
 
     def record_job(self, record: dict) -> Path:
         """Persist one job record (see ``Job.to_dict``), atomically."""
         return atomic_write_json(self.jobs_dir / f"{record['job_id']}.json", record)
 
+    def _read_record(self, path: Path) -> dict | None:
+        """Parse one record file; unreadable files warn and read as ``None``.
+
+        An empty or truncated file is what a crash between the ``O_EXCL``
+        reservation and the placeholder write leaves behind (or what a reader
+        racing that window observes); it must never crash a listing.
+        """
+        try:
+            record = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError) as error:
+            warnings.warn(
+                f"skipping unreadable job record {path}: {error}",
+                StoreRecordWarning,
+                stacklevel=3,
+            )
+            return None
+        if not isinstance(record, dict) or not record.get("job_id"):
+            return None  # freshly reserved placeholder
+        return record
+
     def load_jobs(self) -> list[dict]:
-        """Every persisted job record, sorted by job id (= submission order)."""
+        """Every readable job record, sorted by job id (= submission order).
+
+        Placeholders and unreadable files are skipped (the latter with a
+        :class:`StoreRecordWarning`), so a torn record never takes down
+        ``repro jobs`` for the whole store.
+        """
         if not self.jobs_dir.is_dir():
             return []
         records = []
-        for path in sorted(self.jobs_dir.glob("job-*.json")):
-            record = json.loads(path.read_text())
-            if record.get("job_id"):  # skip freshly reserved placeholders
+        for path in sorted(self.jobs_dir.glob(f"{self.job_prefix}job-*.json")):
+            record = self._read_record(path)
+            if record is not None:
                 records.append(record)
         return records
 
     def load_job(self, job_id: str) -> dict | None:
-        """One persisted job record, or ``None`` when unknown."""
+        """One persisted job record, or ``None`` when unknown or unreadable."""
         path = self.jobs_dir / f"{job_id}.json"
         if not path.exists():
             return None
-        record = json.loads(path.read_text())
-        return record if record.get("job_id") else None
+        return self._read_record(path)
 
     def events_path(self, job_id: str) -> Path:
         return self.jobs_dir / f"{job_id}.events.ndjson"

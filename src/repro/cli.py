@@ -14,6 +14,9 @@ Python::
     repro submit spec.json                       # job into the result store
     repro jobs                                   # list recorded jobs
     repro result job-000001-abcdef123456         # fetch a stored envelope
+    repro serve --port 8123 --keys keys.json     # multi-tenant HTTP gateway
+    repro submit spec.json --server http://127.0.0.1:8123 --tenant acme \
+        --api-key k1                             # same verbs over the wire
     repro registry --json                        # stable, scriptable listing
     repro networks                               # list evaluated workloads
 
@@ -36,7 +39,10 @@ instead of a half-written report.  The deliberate exception is ``run
 executes a spec as a :class:`~repro.api.service.SchedulingService` job
 recorded in an on-disk result store (resubmitting an identical spec is a
 store hit that skips every scheduler), ``jobs`` lists the recorded jobs and
-``result`` prints a finished job's stored envelope.
+``result`` prints a finished job's stored envelope.  With ``--server URL``
+the same three verbs go over HTTP to a ``repro serve`` gateway instead
+(``--tenant`` picks the namespace, ``--api-key`` authenticates); ``repro
+serve`` hosts the multi-tenant gateway itself (see ``docs/gateway.md``).
 """
 
 from __future__ import annotations
@@ -139,17 +145,54 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     submit.add_argument("spec", help="path to a spec file (see docs/api.md for the schema)")
     submit.add_argument("--json", action="store_true", help="print the full job record")
+    submit.add_argument(
+        "--priority", default="interactive", choices=("interactive", "batch"),
+        help="queue lane on a priority-aware server (default: interactive)",
+    )
     _add_store_argument(submit)
+    _add_server_arguments(submit)
 
     jobs = sub.add_parser("jobs", help="list the jobs recorded in the result store")
     jobs.add_argument("--json", action="store_true", help="machine-readable output")
     _add_store_argument(jobs)
+    _add_server_arguments(jobs)
 
     result = sub.add_parser(
         "result", help="print the stored result envelope of a finished job"
     )
     result.add_argument("job_id", help="job id as printed by `repro submit` / `repro jobs`")
     _add_store_argument(result)
+    _add_server_arguments(result)
+
+    serve = sub.add_parser(
+        "serve", help="host the multi-tenant HTTP scheduling gateway"
+    )
+    serve.add_argument("--host", default="127.0.0.1", help="bind address (default: 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=8123, help="bind port (default: 8123; 0 = any free port)")
+    serve.add_argument(
+        "--store", metavar="DIR", default=DEFAULT_STORE,
+        help=f"root of the per-tenant result stores (default: {DEFAULT_STORE})",
+    )
+    serve.add_argument(
+        "--keys", metavar="FILE", default=None,
+        help="JSON file mapping API keys to tenants; omit to disable auth (dev mode)",
+    )
+    serve.add_argument(
+        "--max-workers", type=_positive_int, default=2,
+        help="concurrent jobs across all tenants (default: 2)",
+    )
+    serve.add_argument(
+        "--rate", type=float, default=None, metavar="N",
+        help="per-tenant admission rate in requests/second (default: unlimited)",
+    )
+    serve.add_argument(
+        "--burst", type=float, default=None, metavar="N",
+        help="per-tenant burst capacity in requests (default: 2x --rate)",
+    )
+    serve.add_argument(
+        "--interactive-weight", type=_positive_int, default=4, metavar="W",
+        help="interactive dequeues per batch dequeue under load (default: 4)",
+    )
 
     registry = sub.add_parser("registry", help="list the plugin registries of the public API")
     registry.add_argument(
@@ -217,6 +260,27 @@ def _add_store_argument(parser: argparse.ArgumentParser) -> None:
         "--store", metavar="DIR", default=DEFAULT_STORE,
         help=f"result-store directory (default: {DEFAULT_STORE})",
     )
+
+
+def _add_server_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--server", metavar="URL", default=None,
+        help="route through a `repro serve` gateway instead of the local store",
+    )
+    parser.add_argument(
+        "--tenant", default="default",
+        help="tenant namespace on the gateway (default: default)",
+    )
+    parser.add_argument(
+        "--api-key", default=None,
+        help="API key for the gateway (required when the server enforces auth)",
+    )
+
+
+def _gateway_client(args):
+    from repro.api.client import GatewayClient
+
+    return GatewayClient(args.server, tenant=args.tenant, api_key=args.api_key)
 
 
 def _engine_spec(args) -> EngineSpec:
@@ -468,6 +532,8 @@ def _submit(args) -> int:
     spec = _load_spec_or_fail(args.spec)
     if spec is None:
         return 1
+    if args.server:
+        return _submit_remote(args, spec)
     service = SchedulingService(max_workers=1, store=args.store)
     try:
         job = service.submit(spec)
@@ -486,15 +552,50 @@ def _submit(args) -> int:
     return 0
 
 
+def _submit_remote(args, spec) -> int:
+    from repro.api.client import GatewayError
+
+    client = _gateway_client(args)
+    try:
+        record = client.submit(spec, priority=args.priority)
+        record = client.wait(record["job_id"])
+    except (GatewayError, OSError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    if args.json:
+        print(json.dumps(record, indent=2))
+    elif record["state"] == "done":
+        origin = "result store" if record.get("store_hit") else "fresh run"
+        print(f"{record['job_id']}  {record['state']}  ({origin})")
+    if record["state"] != "done":
+        error = record.get("error") or {}
+        print(
+            f"error: job {record['job_id']} {record['state']}"
+            f" ({error.get('type')}: {error.get('message')})",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 def _jobs(args) -> int:
     from repro.api.store import ResultStore
 
-    records = ResultStore(args.store).load_jobs()
+    if args.server:
+        from repro.api.client import GatewayError
+
+        try:
+            records = _gateway_client(args).jobs()
+        except (GatewayError, OSError) as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 1
+    else:
+        records = ResultStore(args.store).load_jobs()
     if args.json:
         print(json.dumps(records, indent=2))
         return 0
     if not records:
-        print(f"no jobs recorded in {args.store}")
+        print(f"no jobs recorded in {args.server or args.store}")
         return 0
     for record in records:
         origin = "store-hit" if record.get("store_hit") else "computed"
@@ -505,6 +606,15 @@ def _jobs(args) -> int:
 def _result(args) -> int:
     from repro.api.store import ResultStore
 
+    if args.server:
+        from repro.api.client import GatewayError
+
+        try:
+            print(_gateway_client(args).result_text(args.job_id), end="")
+        except (GatewayError, OSError) as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 1
+        return 0
     store = ResultStore(args.store)
     record = store.load_job(args.job_id)
     if record is None:
@@ -521,6 +631,50 @@ def _result(args) -> int:
         )
         return 1
     print(result.to_json())
+    return 0
+
+
+def _serve(args) -> int:
+    from repro.api.auth import ApiKeyAuth
+    from repro.api.gateway import SchedulingGateway
+    from repro.api.ratelimit import RateLimiter
+
+    try:
+        auth = ApiKeyAuth.from_file(args.keys) if args.keys else None
+    except (OSError, ValueError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    limiter = None
+    if args.rate is not None:
+        try:
+            limiter = RateLimiter(
+                rate=args.rate,
+                burst=args.burst if args.burst is not None else 2 * args.rate,
+            )
+        except ValueError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 1
+    try:
+        gateway = SchedulingGateway(
+            args.store,
+            auth=auth,
+            rate_limiter=limiter,
+            max_workers=args.max_workers,
+            interactive_weight=args.interactive_weight,
+            host=args.host,
+            port=args.port,
+        )
+    except OSError as error:
+        print(f"error: cannot bind {args.host}:{args.port}: {error}", file=sys.stderr)
+        return 1
+    mode = "api-key auth" if auth else "no auth (dev mode)"
+    print(f"repro gateway on {gateway.url}  store={args.store}  {mode}", flush=True)
+    try:
+        gateway.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        gateway.close(wait=False)  # daemon workers; stay Ctrl-C friendly
     return 0
 
 
@@ -617,6 +771,8 @@ def main(argv=None) -> int:
         return _jobs(args)
     if args.command == "result":
         return _result(args)
+    if args.command == "serve":
+        return _serve(args)
     if args.command == "registry":
         return _registry(args)
     if args.command == "bench":

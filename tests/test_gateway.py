@@ -1,0 +1,401 @@
+"""Tests for the multi-tenant HTTP gateway: auth, rate limits, priorities,
+and the end-to-end wire protocol.
+
+Covers the contract of `repro.api.gateway` / `auth` / `ratelimit` /
+`client`:
+
+* unit level — API-key auth (401 vs 403), deterministic token buckets, and
+  the weighted two-level priority queue (batch can never starve
+  interactive, interactive can never starve batch);
+* wire level — submit over HTTP, stream chunked NDJSON events equivalent
+  to ``Job.events()``, fetch a result byte-identical to the stored ``run()``
+  envelope, resubmit as a store hit with zero scheduler invocations, and
+  the error surface (401/403/404/400/429 with ``Retry-After``);
+* tenancy — separate store subtrees, id namespaces, and no cross-tenant
+  reads.
+"""
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.api import RunSpec, run, spec_fingerprint
+from repro.api.auth import (
+    ApiKeyAuth,
+    AuthenticationError,
+    AuthorizationError,
+)
+from repro.api.client import GatewayClient, GatewayError
+from repro.api.gateway import SchedulingGateway
+from repro.api.ratelimit import RateLimiter, TokenBucket
+from repro.api.service import TwoLevelPriorityQueue, _SHUTDOWN
+
+#: Cheap deterministic schedule run (seeded random search, tiny layer).
+SCHEDULE_SPEC = {
+    "kind": "schedule",
+    "workload": {"layers": ["3_4_8_16_1"]},
+    "scheduler": {"name": "random", "options": {"num_valid": 2, "max_attempts": 500}},
+}
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+class _Item:
+    """Minimal queue item: jobs are anything with a ``priority``."""
+
+    def __init__(self, name, priority):
+        self.name = name
+        self.priority = priority
+
+
+# --------------------------------------------------------------------- auth
+
+
+class TestApiKeyAuth:
+    def test_authorize_happy_path(self):
+        auth = ApiKeyAuth({"k1": "acme", "k2": "bobco"})
+        assert auth.authorize("k1", "acme") == "acme"
+        assert auth.tenant_for("k2") == "bobco"
+        assert auth.tenants == ("acme", "bobco")
+
+    def test_missing_and_unknown_keys_are_401(self):
+        auth = ApiKeyAuth({"k1": "acme"})
+        with pytest.raises(AuthenticationError):
+            auth.authorize(None, "acme")
+        with pytest.raises(AuthenticationError):
+            auth.authorize("nope", "acme")
+        assert AuthenticationError("x").status == 401
+
+    def test_cross_tenant_is_403(self):
+        auth = ApiKeyAuth({"k1": "acme"})
+        with pytest.raises(AuthorizationError):
+            auth.authorize("k1", "bobco")
+        assert AuthorizationError("x").status == 403
+
+    def test_from_file_both_shapes(self, tmp_path):
+        flat = tmp_path / "flat.json"
+        flat.write_text('{"k1": "acme"}')
+        nested = tmp_path / "nested.json"
+        nested.write_text('{"keys": {"k1": "acme"}}')
+        assert ApiKeyAuth.from_file(flat).tenant_for("k1") == "acme"
+        assert ApiKeyAuth.from_file(nested).tenant_for("k1") == "acme"
+
+    def test_rejects_malformed_configs(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("not json")
+        with pytest.raises(ValueError, match="not valid JSON"):
+            ApiKeyAuth.from_file(bad)
+        with pytest.raises(ValueError, match="at least one"):
+            ApiKeyAuth({})
+        with pytest.raises(ValueError, match="non-empty string"):
+            ApiKeyAuth({"k1": 7})
+
+
+# --------------------------------------------------------------- rate limit
+
+
+class TestTokenBucket:
+    def test_burst_then_refill(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=2.0, burst=3, clock=clock)
+        assert [bucket.try_acquire() for _ in range(3)] == [0.0, 0.0, 0.0]
+        delay = bucket.try_acquire()
+        assert delay == pytest.approx(0.5)  # 1 token at 2 tokens/sec
+        clock.advance(0.5)
+        assert bucket.try_acquire() == 0.0
+
+    def test_tokens_cap_at_burst(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=100.0, burst=2, clock=clock)
+        clock.advance(60)  # refill far beyond capacity
+        assert bucket.try_acquire() == 0.0
+        assert bucket.try_acquire() == 0.0
+        assert bucket.try_acquire() > 0.0
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError, match="rate"):
+            TokenBucket(rate=0, burst=1)
+        with pytest.raises(ValueError, match="burst"):
+            TokenBucket(rate=1, burst=0)
+
+    def test_limiter_isolates_keys_and_rounds_retry_after_up(self):
+        clock = FakeClock()
+        limiter = RateLimiter(rate=0.5, burst=1, clock=clock)
+        assert limiter.check("a") == 0.0
+        assert limiter.check("b") == 0.0  # b has its own bucket
+        delay = limiter.check("a")
+        assert delay == pytest.approx(2.0)
+        assert RateLimiter.retry_after_header(delay) == "2"
+        assert RateLimiter.retry_after_header(0.2) == "1"  # never 0
+
+
+# ----------------------------------------------------------- priority queue
+
+
+class TestTwoLevelPriorityQueue:
+    def test_interactive_overtakes_queued_batch(self):
+        q = TwoLevelPriorityQueue(interactive_weight=4)
+        for i in range(10):
+            q.put(_Item(f"b{i}", "batch"))
+        q.put(_Item("i0", "interactive"))
+        assert q.get().name == "i0"  # not stuck behind ten batch items
+
+    def test_weighted_dequeue_never_starves_batch(self):
+        q = TwoLevelPriorityQueue(interactive_weight=2)
+        for i in range(10):
+            q.put(_Item(f"i{i}", "interactive"))
+        q.put(_Item("b0", "batch"))
+        names = [q.get().name for _ in range(6)]
+        # After `interactive_weight` interactive dequeues the batch item runs.
+        assert names == ["i0", "i1", "b0", "i2", "i3", "i4"]
+
+    def test_sentinels_drain_only_after_jobs(self):
+        q = TwoLevelPriorityQueue()
+        q.put(_SHUTDOWN)
+        q.put(_Item("b0", "batch"))
+        q.put(_Item("i0", "interactive"))
+        assert q.get().name == "i0"
+        assert q.get().name == "b0"
+        assert q.get() is _SHUTDOWN
+
+    def test_rejects_bad_weight(self):
+        with pytest.raises(ValueError, match="interactive_weight"):
+            TwoLevelPriorityQueue(interactive_weight=0)
+
+
+# ------------------------------------------------------------ HTTP end-to-end
+
+
+@pytest.fixture()
+def gateway(tmp_path):
+    auth = ApiKeyAuth({"k-acme": "acme", "k-bobco": "bobco"})
+    gw = SchedulingGateway(tmp_path / "gw-store", auth=auth, max_workers=2)
+    gw.start()
+    yield gw
+    gw.close()
+
+
+@pytest.fixture()
+def client(gateway):
+    return GatewayClient(gateway.url, tenant="acme", api_key="k-acme")
+
+
+class TestGatewayEndToEnd:
+    def test_healthz_and_registry(self, gateway, client):
+        assert client.health()["status"] == "ok"
+        listing = client.registry()
+        assert {"schedulers", "architectures", "platforms", "workloads"} <= set(listing)
+        assert "cosa" in listing["schedulers"]
+
+    def test_submit_stream_fetch_round_trip(self, gateway, client):
+        record = client.submit(SCHEDULE_SPEC)
+        assert record["state"] == "queued"
+        assert record["priority"] == "interactive"
+        assert record["job_id"].startswith("acme-job-000001-")
+
+        events = list(client.events(record["job_id"]))
+        kinds = [event["event"] for event in events]
+        assert kinds == ["run_queued", "run_started", "layer_scheduled", "run_finished"]
+
+        # The streamed NDJSON is exactly Job.events() serialized (satellite:
+        # event-stream equivalence between the wire and the in-process API).
+        job = gateway.service.job(record["job_id"])
+        assert events == [event.to_dict() for event in job.events(timeout=1)]
+
+        final = client.job(record["job_id"])
+        assert final["state"] == "done"
+        assert final["store_hit"] is False
+        result = client.result(record["job_id"])
+        assert result.kind == "schedule"
+        assert result.data["succeeded"] is True
+        # The final streamed event carries the same envelope the result
+        # endpoint serves.
+        assert events[-1]["result"] == result.to_dict()
+
+    def test_result_bytes_identical_to_stored_run_envelope(self, gateway, client):
+        record = client.submit(SCHEDULE_SPEC)
+        client.wait(record["job_id"])
+        raw = client.result_text(record["job_id"])
+        store = gateway.store_for("acme")
+        fingerprint = spec_fingerprint(RunSpec.from_dict(SCHEDULE_SPEC))
+        assert raw == (store.results_dir / f"{fingerprint}.json").read_text()
+        # And semantically equal to a synchronous run() envelope (wall-clock
+        # floats aside, every deterministic field matches).
+        sync = run(RunSpec.from_dict(SCHEDULE_SPEC)).to_dict()
+        over_http = json.loads(raw)
+        assert over_http["schema_version"] == sync["schema_version"]
+        assert over_http["spec"] == sync["spec"]
+        assert over_http["data"]["outcomes"][0]["layer"] == sync["data"]["outcomes"][0]["layer"]
+
+    def test_http_resubmission_is_store_hit_with_zero_scheduler_invocations(
+        self, gateway, client, monkeypatch
+    ):
+        first = client.submit(SCHEDULE_SPEC)
+        assert client.wait(first["job_id"])["store_hit"] is False
+
+        import repro.api.runner as runner_module
+
+        def exploding_execute(*args, **kwargs):
+            raise AssertionError("store hit must not re-run the scheduler")
+
+        monkeypatch.setattr(runner_module, "execute", exploding_execute)
+        second = client.submit(SCHEDULE_SPEC)
+        final = client.wait(second["job_id"])
+        assert final["state"] == "done"
+        assert final["store_hit"] is True
+        assert client.result(second["job_id"]).to_dict() == client.result(
+            first["job_id"]
+        ).to_dict()
+
+    def test_batch_priority_and_query_validation(self, gateway, client):
+        record = client.submit(SCHEDULE_SPEC, priority="batch")
+        assert record["priority"] == "batch"
+        client.wait(record["job_id"])
+        with pytest.raises(GatewayError) as excinfo:
+            client.submit(SCHEDULE_SPEC, priority="urgent")
+        assert excinfo.value.status == 400
+
+    def test_jobs_listing_includes_persisted_record(self, gateway, client):
+        record = client.submit(SCHEDULE_SPEC)
+        client.wait(record["job_id"])
+        ids = [job["job_id"] for job in client.jobs()]
+        assert record["job_id"] in ids
+
+
+class TestGatewayAuthOverHTTP:
+    def test_missing_key_is_401_with_www_authenticate(self, gateway):
+        anonymous = GatewayClient(gateway.url, tenant="acme")
+        with pytest.raises(GatewayError) as excinfo:
+            anonymous.jobs()
+        assert excinfo.value.status == 401
+        # Raw request to inspect the headers.
+        request = urllib.request.Request(f"{gateway.url}/v1/acme/jobs")
+        with pytest.raises(urllib.error.HTTPError) as http_excinfo:
+            urllib.request.urlopen(request)
+        assert http_excinfo.value.code == 401
+        assert http_excinfo.value.headers["WWW-Authenticate"] == "Bearer"
+
+    def test_wrong_tenant_key_is_403(self, gateway):
+        crossed = GatewayClient(gateway.url, tenant="acme", api_key="k-bobco")
+        with pytest.raises(GatewayError) as excinfo:
+            crossed.jobs()
+        assert excinfo.value.status == 403
+
+    def test_x_api_key_header_is_accepted(self, gateway):
+        request = urllib.request.Request(
+            f"{gateway.url}/v1/acme/jobs", headers={"X-API-Key": "k-acme"}
+        )
+        with urllib.request.urlopen(request) as response:
+            assert json.loads(response.read()) == {"jobs": []}
+
+    def test_registry_requires_any_valid_key(self, gateway):
+        with pytest.raises(GatewayError) as excinfo:
+            GatewayClient(gateway.url).registry()
+        assert excinfo.value.status == 401
+        assert GatewayClient(gateway.url, api_key="k-bobco").registry()
+
+    def test_healthz_needs_no_key(self, gateway):
+        assert GatewayClient(gateway.url).health()["status"] == "ok"
+
+    def test_tenant_isolation_ids_and_stores(self, gateway):
+        acme = GatewayClient(gateway.url, tenant="acme", api_key="k-acme")
+        bobco = GatewayClient(gateway.url, tenant="bobco", api_key="k-bobco")
+        record = acme.submit(SCHEDULE_SPEC)
+        acme.wait(record["job_id"])
+        assert bobco.jobs() == []  # separate store subtree
+        # Even with its own valid key, bobco cannot read acme's job: the id
+        # prefix guard answers 404, never leaking the record's existence.
+        with pytest.raises(GatewayError) as excinfo:
+            bobco.job(record["job_id"])
+        assert excinfo.value.status == 404
+        # Stores live in separate subtrees with prefixed ids.
+        assert gateway.store_for("acme").root != gateway.store_for("bobco").root
+        assert record["job_id"].startswith("acme-")
+
+
+class TestGatewayErrorSurface:
+    def test_unknown_routes_and_jobs_are_404(self, gateway, client):
+        with pytest.raises(GatewayError) as excinfo:
+            client.job("acme-job-999999-cafecafecafe")
+        assert excinfo.value.status == 404
+        with pytest.raises(GatewayError) as excinfo:
+            client._json("GET", "/v1/acme/nope")
+        assert excinfo.value.status == 404
+
+    def test_invalid_spec_body_is_400(self, gateway, client):
+        with pytest.raises(GatewayError) as excinfo:
+            client._json("POST", "/v1/acme/jobs", payload={"kind": "nonsense"})
+        assert excinfo.value.status == 400
+        assert "invalid RunSpec" in str(excinfo.value)
+
+    def test_invalid_tenant_name_is_400(self, gateway):
+        probe = GatewayClient(gateway.url, tenant="-bad", api_key="k-acme")
+        with pytest.raises(GatewayError) as excinfo:
+            probe.jobs()
+        assert excinfo.value.status == 400
+
+    def test_result_of_unfinished_job_is_409(self, gateway, client, monkeypatch):
+        import repro.api.runner as runner_module
+
+        def failing_execute(*args, **kwargs):
+            raise RuntimeError("boom")
+
+        monkeypatch.setattr(runner_module, "execute", failing_execute)
+        record = client.submit(SCHEDULE_SPEC)
+        final = client.wait(record["job_id"])
+        assert final["state"] == "failed"
+        with pytest.raises(GatewayError) as excinfo:
+            client.result(record["job_id"])
+        assert excinfo.value.status == 409
+        assert "boom" in str(excinfo.value)
+
+
+class TestGatewayRateLimit:
+    def test_burst_gets_429_with_retry_after(self, tmp_path):
+        clock = FakeClock()
+        limiter = RateLimiter(rate=0.5, burst=2, clock=clock)
+        with SchedulingGateway(tmp_path / "store", rate_limiter=limiter) as gateway:
+            gateway.start()
+            client = GatewayClient(gateway.url, tenant="t1")
+            assert client.jobs() == []
+            assert client.jobs() == []
+            with pytest.raises(GatewayError) as excinfo:
+                client.jobs()
+            assert excinfo.value.status == 429
+            assert excinfo.value.retry_after == 2.0
+            # Another tenant has its own bucket and is unaffected.
+            assert GatewayClient(gateway.url, tenant="t2").jobs() == []
+            # Refill admits t1 again.
+            clock.advance(2.0)
+            assert client.jobs() == []
+
+    def test_healthz_is_never_rate_limited(self, tmp_path):
+        clock = FakeClock()
+        limiter = RateLimiter(rate=0.1, burst=1, clock=clock)
+        with SchedulingGateway(tmp_path / "store", rate_limiter=limiter) as gateway:
+            gateway.start()
+            client = GatewayClient(gateway.url, tenant="t1")
+            assert client.jobs() == []
+            for _ in range(3):
+                assert client.health()["status"] == "ok"
+
+
+class TestDevModeGateway:
+    def test_no_auth_accepts_any_tenant(self, tmp_path):
+        with SchedulingGateway(tmp_path / "store") as gateway:
+            gateway.start()
+            client = GatewayClient(gateway.url, tenant="whoever")
+            record = client.submit(SCHEDULE_SPEC)
+            final = client.wait(record["job_id"])
+            assert final["state"] == "done"
