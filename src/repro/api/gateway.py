@@ -131,8 +131,20 @@ class SchedulingGateway:
     max_workers / interactive_weight:
         Worker-pool width and the priority queue's interactive:batch
         dequeue weight.
+    backend / fabric_root:
+        ``backend="fabric"`` turns the gateway into a pure front-end: every
+        submission lands in the persistent work queue under ``fabric_root``
+        and external ``repro worker`` processes execute it —
+        ``max_workers=0`` then runs the gateway with zero in-process
+        workers.  ``backend="local"`` (default) keeps the PR 7 thread pool.
     host / port:
         Bind address; port ``0`` picks a free port (see :attr:`address`).
+
+    All tenants share one content-addressed results tier
+    (``<store_root>/shared``): an identical spec submitted by two tenants
+    executes **once** — the second submission is a store hit (or rides the
+    first in-flight solve) — while job records and event logs stay in each
+    tenant's private subtree and id namespace.
     """
 
     def __init__(
@@ -143,19 +155,25 @@ class SchedulingGateway:
         rate_limiter: RateLimiter | None = None,
         max_workers: int = 2,
         interactive_weight: int = 4,
+        backend: str = "local",
+        fabric_root: str | Path | None = None,
         host: str = "127.0.0.1",
         port: int = 0,
     ):
         self.store_root = Path(store_root)
         self.auth = auth
         self.rate_limiter = rate_limiter
+        self.backend = backend
         self.service = SchedulingService(
             max_workers=max_workers,
             job_queue=TwoLevelPriorityQueue(interactive_weight=interactive_weight),
+            backend=backend,
+            fabric_root=fabric_root,
         )
         self._stores: dict[str, ResultStore] = {}
         self._lock = threading.Lock()
         self._thread: threading.Thread | None = None
+        self._serving = threading.Event()
         self._server = _GatewayServer((host, port), _GatewayHandler, gateway=self)
 
     # ---------------------------------------------------------------- serving
@@ -171,11 +189,18 @@ class SchedulingGateway:
 
     def serve_forever(self) -> None:
         """Serve on the calling thread until :meth:`close`."""
-        self._server.serve_forever(poll_interval=0.1)
+        self._serving.set()
+        try:
+            self._server.serve_forever(poll_interval=0.1)
+        finally:
+            self._serving.clear()
 
     def start(self) -> "SchedulingGateway":
         """Serve on a daemon background thread (returns immediately)."""
         if self._thread is None:
+            # Set before the thread exists so a close() racing start() still
+            # posts the shutdown request instead of skipping it.
+            self._serving.set()
             self._thread = threading.Thread(
                 target=self.serve_forever, name="repro-gateway", daemon=True
             )
@@ -183,8 +208,15 @@ class SchedulingGateway:
         return self
 
     def close(self, wait: bool = True) -> None:
-        """Stop the HTTP server and shut the service down."""
-        self._server.shutdown()
+        """Stop the HTTP server and shut the service down.
+
+        ``socketserver.shutdown()`` blocks until the serve loop acknowledges
+        — forever, if the loop never ran (e.g. a signal interrupted the CLI
+        between binding and serving) — so it is only called while the loop
+        is live.
+        """
+        if self._serving.is_set():
+            self._server.shutdown()
         self._server.server_close()
         if self._thread is not None:
             self._thread.join(timeout=10)
@@ -199,12 +231,19 @@ class SchedulingGateway:
 
     # ---------------------------------------------------------------- tenancy
     def store_for(self, tenant: str) -> ResultStore:
-        """The tenant's store subtree (ids prefixed ``<tenant>-``)."""
+        """The tenant's store subtree (ids prefixed ``<tenant>-``).
+
+        Job records and event logs live under the tenant; the envelope tier
+        is the gateway-wide shared results root, so identical specs from
+        different tenants are one content-addressed entry.
+        """
         with self._lock:
             store = self._stores.get(tenant)
             if store is None:
                 store = ResultStore(
-                    self.store_root / "tenants" / tenant, job_prefix=f"{tenant}-"
+                    self.store_root / "tenants" / tenant,
+                    job_prefix=f"{tenant}-",
+                    results_root=self.store_root / "shared",
                 )
                 self._stores[tenant] = store
             return store
@@ -422,12 +461,43 @@ class _GatewayHandler(BaseHTTPRequestHandler):
                 json.dumps(event.to_dict()) + "\n" for event in job.events()
             )
             return
-        path = self.gateway.store_for(tenant).events_path(job_id)
+        store = self.gateway.store_for(tenant)
+        path = store.events_path(job_id)
         if not path.exists():
             raise GatewayRequestError(404, f"no events for job {job_id!r}")
-        self._stream_ndjson(
-            line + "\n" for line in path.read_text().splitlines()
-        )
+        # Not live in this process — a fabric job being executed by an
+        # external worker, or a finished job from a previous run.  Tail the
+        # persisted NDJSON log until a terminal event (live for fabric jobs,
+        # instant replay for finished ones).
+        self._stream_ndjson(self._tail_events(store, job_id))
+
+    def _tail_events(self, store: ResultStore, job_id: str, timeout: float = 600.0):
+        import time
+
+        path = store.events_path(job_id)
+        offset = 0
+        deadline = time.monotonic() + timeout
+        while True:
+            lines = path.read_text().splitlines() if path.exists() else []
+            for line in lines[offset:]:
+                if not line.strip():
+                    offset += 1
+                    continue
+                try:
+                    parsed = json.loads(line)
+                except json.JSONDecodeError:
+                    break  # torn tail mid-append; retry next poll
+                offset += 1
+                yield line + "\n"
+                if parsed.get("event") in ("run_finished", "run_failed"):
+                    return
+            record = store.load_job(job_id)
+            state = (record or {}).get("state")
+            if state in ("done", "failed", "cancelled") and offset >= len(lines):
+                return  # terminal record, log fully replayed (no event tail)
+            if time.monotonic() > deadline:
+                return
+            time.sleep(0.1)
 
     def _result(self, tenant: str, job_id: str) -> None:
         store = self.gateway.store_for(tenant)
@@ -441,7 +511,7 @@ class _GatewayHandler(BaseHTTPRequestHandler):
             raise GatewayRequestError(
                 409, f"job {job_id} has no result (state: {record['state']}){detail}"
             )
-        path = store._result_path(record["spec_fingerprint"])
+        path = store.result_path(record["spec_fingerprint"])
         if not path.exists():
             raise GatewayRequestError(404, f"stored result of {job_id!r} is missing")
         # The stored file IS the envelope `run()` would have produced; serve

@@ -47,8 +47,10 @@ the engine reports layers in input order (see
 
 from __future__ import annotations
 
+import json
 import queue
 import threading
+import time
 from collections import deque
 from enum import Enum
 from pathlib import Path
@@ -62,6 +64,7 @@ from repro.api.events import (
     RunFinished,
     RunQueued,
     RunStarted,
+    event_from_dict,
 )
 from repro.api.result import RunResult
 from repro.api.specs import RunSpec
@@ -136,6 +139,12 @@ class Job:
         self._record: Callable[["Job"], None] = lambda job: None
         #: Releases single-flight followers; installed by the owning service.
         self._settle: Callable[["Job"], None] = lambda job: None
+        #: Extra veto ahead of a local cancel — fabric jobs must first win
+        #: the remote cancellation race (see ``WorkQueue.cancel``).
+        self._cancel_guard: Callable[[], bool] = lambda: True
+        #: Fabric bookkeeping (``backend="fabric"`` jobs only).
+        self._task_id: str | None = None
+        self._events_offset = 0
 
     def __repr__(self) -> str:
         return f"Job(id={self.id!r}, kind={self.spec.kind!r}, state={self.state.value!r})"
@@ -234,6 +243,8 @@ class Job:
         skips it; identical-spec jobs deduplicated onto a cancelled job are
         re-queued to run on their own.
         """
+        if not self._cancel_guard():
+            return False
         with self._lock:
             if self.state is not JobState.QUEUED:
                 return False
@@ -378,32 +389,64 @@ class SchedulingService:
         The queue workers drain; defaults to :class:`FIFOJobQueue`.  The
         gateway passes a :class:`TwoLevelPriorityQueue` so interactive
         submissions overtake batch sweeps.
+    backend:
+        ``"local"`` (default) executes on this process's thread pool;
+        ``"fabric"`` enqueues every submission into the persistent
+        :class:`~repro.fabric.queue.WorkQueue` under ``fabric_root``, to be
+        drained by external ``repro worker`` processes.  In fabric mode
+        ``max_workers`` may be 0 (a pure front-end: ``repro serve`` with
+        zero in-process workers) and every job needs a store — that is
+        where workers put envelopes and event logs.
+    fabric_root:
+        The fabric directory (required for ``backend="fabric"``).
 
     The service is a context manager; leaving the block waits for running
     jobs and shuts the pool down.  Workers are daemon threads, so an
     interrupted process (Ctrl-C mid-sweep) exits promptly instead of
     draining the queue; call :meth:`shutdown` (or use the context manager)
-    for a clean hand-over.
+    for a clean hand-over.  Fabric tasks outlive the service by design:
+    shutting down the front-end leaves queued work in the fabric for
+    workers to finish.
     """
+
+    #: Seconds between fabric watcher sweeps over live jobs' event logs.
+    FABRIC_POLL_INTERVAL = 0.05
 
     def __init__(
         self,
         max_workers: int = 2,
         store: ResultStore | str | Path | None = None,
         job_queue=None,
+        *,
+        backend: str = "local",
+        fabric_root: str | Path | None = None,
     ):
-        if max_workers < 1:
-            raise ValueError(f"max_workers must be >= 1, got {max_workers}")
+        if backend not in ("local", "fabric"):
+            raise ValueError(f"backend must be 'local' or 'fabric', got {backend!r}")
+        if backend == "fabric" and fabric_root is None:
+            raise ValueError("backend='fabric' requires fabric_root")
+        min_workers = 0 if backend == "fabric" else 1
+        if max_workers < min_workers:
+            raise ValueError(
+                f"max_workers must be >= {min_workers}, got {max_workers}"
+            )
         if isinstance(store, (str, Path)):
             store = ResultStore(store)
         self.store = store
+        self.backend = backend
         self.max_workers = max_workers
+        self._fabric = None
+        self._watcher: threading.Thread | None = None
+        if backend == "fabric":
+            from repro.fabric.queue import WorkQueue
+
+            self._fabric = WorkQueue(fabric_root)
         self._queue = job_queue if job_queue is not None else FIFOJobQueue()
         self._workers = [
             threading.Thread(
                 target=self._worker_loop, name=f"repro-service-{index}", daemon=True
             )
-            for index in range(max_workers)
+            for index in range(max_workers if backend == "local" else 0)
         ]
         for worker in self._workers:
             worker.start()
@@ -413,6 +456,8 @@ class SchedulingService:
         self._lock = threading.Lock()
         self._counter = 0
         self._closed = False
+        #: Fabric jobs the watcher still tails; guarded by ``_lock``.
+        self._watched: list[Job] = []
 
     # -------------------------------------------------------------- lifecycle
     def __enter__(self) -> "SchedulingService":
@@ -439,6 +484,8 @@ class SchedulingService:
         if wait:
             for worker in self._workers:
                 worker.join()
+            if self._watcher is not None:
+                self._watcher.join(timeout=10)
 
     # ------------------------------------------------------------- submission
     _STORE_UNSET = object()
@@ -468,8 +515,12 @@ class SchedulingService:
         the same spec fingerprint (and store) is queued or running, a new
         submission does not execute — it waits on the in-flight job, shares
         its result and reports ``store_hit`` — so a stampede of identical
-        sweeps costs one solve.  Record I/O happens outside the service
-        lock, so ``job()``/``jobs()`` inspection never blocks on disk.
+        sweeps costs one solve.  Under ``backend="fabric"`` the arbitration
+        moves into the work queue's on-disk in-flight index (leader/follower
+        tasks), so the dedup spans every submitting process *and* tenant
+        sharing one results tier, not just this service instance.  Record
+        I/O happens outside the service lock, so ``job()``/``jobs()``
+        inspection never blocks on disk.
         """
         if not isinstance(spec, RunSpec):
             raise TypeError(f"submit() expects a RunSpec, got {type(spec).__name__}")
@@ -480,6 +531,11 @@ class SchedulingService:
         job_store = self.store if store is self._STORE_UNSET else store
         if isinstance(job_store, (str, Path)):
             job_store = ResultStore(job_store)
+        if self.backend == "fabric" and job_store is None:
+            raise ValueError(
+                "backend='fabric' jobs need a result store: workers deliver "
+                "envelopes and event logs through it"
+            )
         fingerprint = spec_fingerprint(spec)
         with self._lock:
             if self._closed:
@@ -493,7 +549,7 @@ class SchedulingService:
         job = Job(job_id, spec, fingerprint, on_event=on_event, priority=priority)
         job._store = job_store
         job._flight_key = (
-            None if job_store is None else str(job_store.root.resolve()),
+            None if job_store is None else str(job_store.results_root.resolve()),
             fingerprint,
         )
         job._record = self._record
@@ -517,6 +573,9 @@ class SchedulingService:
                 with job._lock:
                     job.state = JobState.CANCELLED
                 enqueue = False
+            elif self.backend == "fabric":
+                self._jobs[job.id] = job
+                enqueue = True  # the fabric queue arbitrates single-flight
             else:
                 self._jobs[job.id] = job
                 leader = self._inflight.get(job._flight_key)
@@ -538,9 +597,48 @@ class SchedulingService:
                 self._record(job)
                 job._done.set()
             raise RuntimeError("cannot submit to a shut-down SchedulingService")
-        if not enqueue:
+        if self.backend == "fabric":
+            self._enqueue_fabric(job)
+        elif not enqueue:
             self._record(job)  # record the deduplicated (waiting) job
         return job
+
+    def _enqueue_fabric(self, job: Job) -> None:
+        """Hand one accepted job to the persistent work queue."""
+        store = job._store
+        tenant = store.job_prefix.rstrip("-")
+        # Task paths must be absolute: workers run with their own cwd, and a
+        # relative --store would make them write envelopes somewhere else.
+        results_root = (
+            None
+            if store.results_root == store.root
+            else str(Path(store.results_root).resolve())
+        )
+        # Seed the on-disk record and event log (run_queued, seq 0) BEFORE the
+        # task becomes claimable: the worker's appender continues numbering
+        # from the file's line count, so the combined log reads like a local
+        # job's, and `repro jobs` sees the job while it is still queued.
+        self._record(job)
+        task = self._fabric.enqueue(
+            job.spec.to_dict(),
+            job.fingerprint,
+            job_id=job.id,
+            store_root=str(Path(store.root).resolve()),
+            results_root=results_root,
+            job_prefix=store.job_prefix,
+            tenant=tenant,
+            priority=job.priority,
+        )
+        job._task_id = task["task_id"]
+        job._events_offset = 1  # the local run_queued is already in the log
+        job._cancel_guard = lambda: self._fabric.cancel(task["task_id"])
+        with self._lock:
+            self._watched.append(job)
+            if self._watcher is None or not self._watcher.is_alive():
+                self._watcher = threading.Thread(
+                    target=self._watch_fabric, name="repro-fabric-watch", daemon=True
+                )
+                self._watcher.start()
 
     # -------------------------------------------------------------- inspection
     def job(self, job_id: str) -> Job:
@@ -623,6 +721,101 @@ class SchedulingService:
             self._record(job)
             job._done.set()
             self._settle_followers(job)
+
+    # ------------------------------------------------------------ fabric watch
+    def _watch_fabric(self) -> None:
+        """Tail fabric jobs' on-disk event logs into their local ``Job``s.
+
+        Workers append the typed NDJSON events as they execute (possibly on
+        another host); this thread re-emits each new line into the in-process
+        :class:`Job`, so ``Job.events()`` subscribers and gateway streams see
+        a fabric job exactly like a local one.  One watcher serves every
+        fabric job of the service; it exits with the service.
+        """
+        while True:
+            with self._lock:
+                if self._closed:
+                    return
+                jobs = [job for job in self._watched if not job.done]
+                self._watched = jobs
+            for job in jobs:
+                try:
+                    self._poll_fabric_job(job)
+                except BaseException:
+                    # A subscriber blowing up on a re-emitted event must not
+                    # kill the watcher for every other job.
+                    pass
+            time.sleep(self.FABRIC_POLL_INTERVAL)
+
+    def _poll_fabric_job(self, job: Job) -> None:
+        """Apply any new event-log lines (and dead-letter state) to ``job``."""
+        try:
+            lines = job._store.events_path(job.id).read_text().splitlines()
+        except FileNotFoundError:
+            lines = []
+        for line in lines[job._events_offset :]:
+            if not line.strip():
+                job._events_offset += 1
+                continue
+            try:
+                event = event_from_dict(json.loads(line))
+            except ValueError:
+                break  # torn tail mid-append; complete next sweep
+            job._events_offset += 1
+            self._apply_fabric_event(job, event)
+            if job.done:
+                return
+        if job._task_id is not None and not job.done:
+            task = self._fabric.load_task(job._task_id)
+            if task is not None and task["state"] == "dead":
+                # The queue dead-lettered it: no worker will ever emit a
+                # terminal event, so fail the local job now.
+                error = task.get("error") or {}
+                self._fail_fabric_job(
+                    job,
+                    error.get("type", "LeaseExpired"),
+                    error.get("message", "task was dead-lettered"),
+                )
+
+    def _apply_fabric_event(self, job: Job, event: Event) -> None:
+        if isinstance(event, RunStarted):
+            with job._lock:
+                if job.state is JobState.QUEUED:
+                    job.state = JobState.RUNNING
+            job._emit(RunStarted)
+            return
+        if isinstance(event, RunFinished):
+            job._result = RunResult.from_dict(event.result)
+            job.store_hit = event.store_hit
+            with job._lock:
+                job.state = JobState.DONE
+            try:
+                job._emit(RunFinished, store_hit=event.store_hit, result=event.result)
+            finally:
+                job._done.set()
+            return
+        if isinstance(event, RunFailed):
+            self._fail_fabric_job(job, event.error_type, event.error_message)
+            return
+        job._emit(type(event), **event.payload())
+
+    def _fail_fabric_job(self, job: Job, error_type: str, message: str) -> None:
+        job.error = RuntimeError(f"{error_type}: {message}")
+        with job._lock:
+            if job.state in TERMINAL_STATES:
+                return
+            job.state = JobState.FAILED
+        try:
+            job._emit(RunFailed, error_type=error_type, error_message=message)
+        finally:
+            job._done.set()
+        # Persist the terminal state: on the dead-letter path no worker is
+        # alive to update the record, so merge ours in (keeping worker/task
+        # bookkeeping an earlier attempt may have written).
+        if job._store is not None:
+            record = job._store.load_job(job.id) or {}
+            record.update(job.to_dict())
+            job._store.record_job(record)
 
     # ----------------------------------------------------------- single-flight
     def _settle_followers(self, leader: Job) -> None:

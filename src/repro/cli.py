@@ -50,6 +50,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+from pathlib import Path
 
 from repro import api
 from repro.api import (
@@ -193,6 +194,71 @@ def _build_parser() -> argparse.ArgumentParser:
         "--interactive-weight", type=_positive_int, default=4, metavar="W",
         help="interactive dequeues per batch dequeue under load (default: 4)",
     )
+    serve.add_argument(
+        "--backend", default="local", choices=("local", "fabric"),
+        help="job execution backend: 'local' runs jobs on an in-process pool, "
+        "'fabric' enqueues them into a persistent work queue drained by "
+        "external `repro worker` processes",
+    )
+    serve.add_argument(
+        "--fabric-root", metavar="DIR", default=None,
+        help="fabric directory shared with the workers "
+        "(default: <store>/fabric when --backend fabric)",
+    )
+
+    worker = sub.add_parser(
+        "worker", help="run one fabric worker process draining a shared work queue"
+    )
+    worker.add_argument(
+        "fabric_root", help="fabric directory shared with `repro serve --backend fabric`"
+    )
+    worker.add_argument(
+        "--worker-id", default=None,
+        help="name recorded in leases and the journal (default: <host>-<pid>)",
+    )
+    worker.add_argument(
+        "--lease-ttl", type=float, default=None, metavar="SECONDS",
+        help="claim lease TTL; an unrenewed lease is reclaimed after this "
+        "(default: 30)",
+    )
+    worker.add_argument(
+        "--heartbeat-interval", type=float, default=None, metavar="SECONDS",
+        help="lease renewal period (default: lease TTL / 3)",
+    )
+    worker.add_argument(
+        "--poll-interval", type=float, default=0.2, metavar="SECONDS",
+        help="idle sleep between empty claim scans (default: 0.2)",
+    )
+    worker.add_argument(
+        "--max-tasks", type=_positive_int, default=None, metavar="N",
+        help="exit after executing N tasks (default: run until SIGTERM)",
+    )
+    worker.add_argument(
+        "--quiet", action="store_true", help="suppress per-task progress lines"
+    )
+
+    store = sub.add_parser(
+        "store", help="inspect and maintain a result store from the shell"
+    )
+    store_sub = store.add_subparsers(dest="store_command", required=True)
+    store_stats = store_sub.add_parser(
+        "stats", help="entries, bytes, shard histogram and warm-tier counters"
+    )
+    store_stats.add_argument("--json", action="store_true", help="machine-readable output")
+    _add_store_argument(store_stats)
+    store_gc = store_sub.add_parser(
+        "gc", help="run eviction and compaction on the results tier"
+    )
+    store_gc.add_argument(
+        "--max-bytes", type=int, default=None, metavar="N",
+        help="evict least-recently-used envelopes until the tier fits N bytes",
+    )
+    store_gc.add_argument(
+        "--dry-run", action="store_true",
+        help="report what would be evicted/compacted without touching disk",
+    )
+    store_gc.add_argument("--json", action="store_true", help="machine-readable output")
+    _add_store_argument(store_gc)
 
     registry = sub.add_parser("registry", help="list the plugin registries of the public API")
     registry.add_argument(
@@ -634,6 +700,18 @@ def _result(args) -> int:
     return 0
 
 
+def _install_signal_handlers(on_signal) -> bool:
+    """Route SIGTERM/SIGINT to ``on_signal`` (main thread only; False if not)."""
+    import signal
+    import threading
+
+    if threading.current_thread() is not threading.main_thread():
+        return False
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        signal.signal(signum, on_signal)
+    return True
+
+
 def _serve(args) -> int:
     from repro.api.auth import ApiKeyAuth
     from repro.api.gateway import SchedulingGateway
@@ -654,6 +732,9 @@ def _serve(args) -> int:
         except ValueError as error:
             print(f"error: {error}", file=sys.stderr)
             return 1
+    fabric_root = args.fabric_root
+    if args.backend == "fabric" and fabric_root is None:
+        fabric_root = str(Path(args.store) / "fabric")
     try:
         gateway = SchedulingGateway(
             args.store,
@@ -661,20 +742,109 @@ def _serve(args) -> int:
             rate_limiter=limiter,
             max_workers=args.max_workers,
             interactive_weight=args.interactive_weight,
+            backend=args.backend,
+            fabric_root=fabric_root,
             host=args.host,
             port=args.port,
         )
     except OSError as error:
         print(f"error: cannot bind {args.host}:{args.port}: {error}", file=sys.stderr)
         return 1
+    # Graceful stop on SIGTERM/SIGINT: stop accepting, close the listener,
+    # flush records, exit 0 — a `kill` never strands RUNNING job records.
+    # Installed before the banner so a supervisor reacting to it can
+    # immediately signal us.
+    def on_signal(signum, frame):
+        raise KeyboardInterrupt
+
+    _install_signal_handlers(on_signal)
     mode = "api-key auth" if auth else "no auth (dev mode)"
-    print(f"repro gateway on {gateway.url}  store={args.store}  {mode}", flush=True)
+    backend = "local pool" if args.backend == "local" else f"fabric={fabric_root}"
     try:
+        # The banner sits inside the try: a supervisor may react to it with
+        # an immediate signal, which must land as a clean shutdown.
+        print(
+            f"repro gateway on {gateway.url}  store={args.store}  {backend}  {mode}",
+            flush=True,
+        )
         gateway.serve_forever()
     except KeyboardInterrupt:
-        pass
+        print("repro gateway: shutting down", flush=True)
     finally:
         gateway.close(wait=False)  # daemon workers; stay Ctrl-C friendly
+    return 0
+
+
+def _worker(args) -> int:
+    from repro.fabric.worker import FabricWorker
+
+    log = (lambda message: None) if args.quiet else (lambda message: print(message, flush=True))
+    worker = FabricWorker(
+        args.fabric_root,
+        worker_id=args.worker_id,
+        lease_ttl=args.lease_ttl,
+        heartbeat_interval=args.heartbeat_interval,
+        poll_interval=args.poll_interval,
+        max_tasks=args.max_tasks,
+        log=log,
+    )
+
+    # SIGTERM/SIGINT: stop claiming, let the in-flight lease finish (the
+    # drain default), flush the event log, exit 0.  A second signal raises
+    # and kills the process the hard way.
+    def on_signal(signum, frame):
+        if worker.stopping:
+            raise KeyboardInterrupt
+        log(f"worker {worker.worker_id}: draining (signal {signum})")
+        worker.stop()
+
+    _install_signal_handlers(on_signal)
+    try:
+        return worker.run()
+    except KeyboardInterrupt:
+        return 1
+
+
+def _store(args) -> int:
+    from repro.api.store import ResultStore
+
+    store = ResultStore(args.store)
+    if args.store_command == "stats":
+        summary = store.stats_summary()
+        if args.json:
+            print(json.dumps(summary, indent=2))
+            return 0
+        print(f"store {summary['root']} (layout v{summary['layout_version']}, "
+              f"shard depth {summary['shard_depth']})")
+        print(f"  entries: {summary['entries']}  bytes: {summary['bytes']}"
+              f"  jobs: {summary['jobs']}")
+        if summary["shards"]:
+            width = max(count for count in summary["shards"].values())
+            for shard, count in summary["shards"].items():
+                bar = "#" * max(1, round(20 * count / width))
+                print(f"  {shard}  {count:>6}  {bar}")
+        warm = summary["warm_tier"]
+        counters = summary["counters"]
+        print(f"  warm tier: {warm['entries']}/{warm['capacity']} entries, "
+              f"{counters['warm_hits']} warm / {counters['disk_hits']} disk hits, "
+              f"{counters['misses']} misses")
+        return 0
+    # gc: eviction (when bounded) then compaction, one report.
+    evicted = store.gc(max_bytes=args.max_bytes, dry_run=args.dry_run)
+    compacted = store.compact(dry_run=args.dry_run)
+    report = {
+        "dry_run": args.dry_run,
+        "eviction": evicted.to_dict(),
+        "compaction": compacted.to_dict(),
+    }
+    if args.json:
+        print(json.dumps(report, indent=2))
+        return 0
+    verb = "would evict" if args.dry_run else "evicted"
+    print(f"{verb} {len(evicted.evicted)} envelope(s) ({evicted.evicted_bytes} bytes); "
+          f"removed {compacted.removed_temp_files} temp file(s), "
+          f"{compacted.removed_empty_shards} empty shard dir(s); "
+          f"{compacted.remaining_entries} entries remain")
     return 0
 
 
@@ -773,6 +943,10 @@ def main(argv=None) -> int:
         return _result(args)
     if args.command == "serve":
         return _serve(args)
+    if args.command == "worker":
+        return _worker(args)
+    if args.command == "store":
+        return _store(args)
     if args.command == "registry":
         return _registry(args)
     if args.command == "bench":

@@ -1,0 +1,281 @@
+"""The ``repro worker`` process: drain fabric claims through the engine.
+
+A :class:`FabricWorker` is the execution half of the fabric: it claims tasks
+from the :class:`~repro.fabric.queue.WorkQueue`, runs them through the
+**same** :func:`repro.api.runner.execute` path a local ``run()`` uses (so the
+stored envelope is bit-identical to a single-process run of the same spec),
+and narrates progress through the typed event protocol of
+:mod:`repro.api.events` — appended live, line by line, to the job's NDJSON
+event log so gateways and ``Job.events()`` watchers can tail it while the
+solve is still running on another machine.
+
+Execution of one claim::
+
+    store = ResultStore(task.store_root, results_root=task.results_root)
+    cached = store.get(spec)            # shared, content-addressed tier
+    if cached: complete(store_hit=True) # zero scheduler invocations
+    else:      runner.execute(spec) -> store.put -> complete()
+
+A heartbeat thread renews the lease at ``lease_ttl / 3`` while the solve
+runs.  If renewal discovers the lease was reclaimed (this worker was
+presumed dead), the worker demotes itself: the solve finishes and its
+content-addressed store write stands (identical bytes, harmless), but task
+and job bookkeeping belong to whoever re-dispatched it — the job completes
+exactly once.
+
+Lifecycle: :meth:`FabricWorker.stop` (wired to SIGTERM/SIGINT by the CLI)
+stops new claims; the in-flight task finishes — or, when ``drain=False``,
+is released back to ``pending`` for another worker — the event log is
+flushed, and :meth:`run` returns cleanly with exit code 0.
+"""
+
+from __future__ import annotations
+
+import os
+import socket
+import threading
+
+from repro.api.events import (
+    Event,
+    LayerScheduled,
+    RunFailed,
+    RunFinished,
+    RunStarted,
+)
+from repro.api.service import JobState
+from repro.api.specs import RunSpec
+from repro.api.store import ResultStore
+from repro.fabric.queue import Claim, WorkQueue
+from repro.io_utils import append_ndjson
+
+
+def default_worker_id() -> str:
+    """A worker id unique per (host, pid) — stable across one process life."""
+    return f"{socket.gethostname()}-{os.getpid()}"
+
+
+class _EventAppender:
+    """Append typed events to a job's NDJSON log with continuous ``seq``.
+
+    The submitting service wrote ``run_queued`` (seq 0) before enqueueing,
+    so the worker continues numbering from the current line count — the
+    combined file reads exactly like a local job's log.
+    """
+
+    def __init__(self, store: ResultStore, job_id: str):
+        self.store = store
+        self.job_id = job_id
+        self.path = store.events_path(job_id)
+        self.seq = 0
+        if self.path.exists():
+            self.seq = sum(1 for line in self.path.read_text().splitlines() if line)
+        self.events: list[Event] = []
+
+    def emit(self, cls: type[Event], **fields) -> Event:
+        event = cls(job_id=self.job_id, seq=self.seq, **fields)
+        self.seq += 1
+        self.events.append(event)
+        append_ndjson(self.path, event.to_dict())
+        return event
+
+
+class FabricWorker:
+    """One claim-execute loop over a fabric root.
+
+    Parameters
+    ----------
+    fabric_root:
+        The directory the :class:`WorkQueue` lives under (shared with the
+        enqueueing service and every other worker).
+    worker_id:
+        Name recorded in leases and the journal; defaults to ``host-pid``.
+    lease_ttl / heartbeat_interval:
+        Claim TTL and renewal period (default: ``ttl / 3``).
+    poll_interval:
+        Idle sleep between empty claim scans.
+    max_tasks:
+        Exit after this many executed tasks (``None`` = run until stopped);
+        the knob subprocess tests and bounded CI smoke runs use.
+    drain:
+        On :meth:`stop`, ``True`` finishes the in-flight task first (the
+        SIGTERM default); ``False`` releases it back to the queue.
+    """
+
+    def __init__(
+        self,
+        fabric_root,
+        *,
+        worker_id: str | None = None,
+        lease_ttl: float | None = None,
+        heartbeat_interval: float | None = None,
+        poll_interval: float = 0.2,
+        max_tasks: int | None = None,
+        drain: bool = True,
+        log=None,
+    ):
+        queue_kwargs = {} if lease_ttl is None else {"lease_ttl": lease_ttl}
+        self.queue = WorkQueue(fabric_root, **queue_kwargs)
+        self.worker_id = worker_id or default_worker_id()
+        self.heartbeat_interval = (
+            heartbeat_interval
+            if heartbeat_interval is not None
+            else self.queue.lease_ttl / 3
+        )
+        self.poll_interval = poll_interval
+        self.max_tasks = max_tasks
+        self.drain = drain
+        self.tasks_done = 0
+        self._log = log or (lambda message: None)
+        self._stop = threading.Event()
+        self._lease_lost = threading.Event()
+
+    # -------------------------------------------------------------- lifecycle
+    def stop(self) -> None:
+        """Request a graceful exit: no new claims; see ``drain`` for in-flight."""
+        self._stop.set()
+
+    @property
+    def stopping(self) -> bool:
+        return self._stop.is_set()
+
+    def run(self) -> int:
+        """Claim and execute until stopped (or ``max_tasks``); returns 0."""
+        self._log(f"worker {self.worker_id} draining {self.queue.root}")
+        while not self._stop.is_set():
+            if not self.run_one():
+                self._stop.wait(self.poll_interval)
+            if self.max_tasks is not None and self.tasks_done >= self.max_tasks:
+                break
+        self._log(f"worker {self.worker_id} exiting after {self.tasks_done} task(s)")
+        return 0
+
+    def run_one(self) -> bool:
+        """One sweep + claim + execute; ``False`` when the queue was idle."""
+        self.queue.reclaim_expired(sweeper=self.worker_id)
+        claim = self.queue.claim(self.worker_id)
+        if claim is None:
+            return False
+        self._execute(claim)
+        self.tasks_done += 1
+        return True
+
+    # -------------------------------------------------------------- execution
+    def _execute(self, claim: Claim) -> None:
+        task = claim.task
+        store = ResultStore(
+            task["store_root"],
+            job_prefix=task.get("job_prefix", ""),
+            results_root=task.get("results_root"),
+        )
+        events = _EventAppender(store, task["job_id"])
+        self._lease_lost.clear()
+        stop_heartbeat = threading.Event()
+        heartbeat = threading.Thread(
+            target=self._heartbeat_loop,
+            args=(claim, stop_heartbeat),
+            name=f"repro-heartbeat-{claim.task_id}",
+            daemon=True,
+        )
+        heartbeat.start()
+        try:
+            self._run_task(claim, store, events)
+        finally:
+            stop_heartbeat.set()
+            heartbeat.join()
+
+    def _run_task(self, claim: Claim, store: ResultStore, events: _EventAppender) -> None:
+        task = claim.task
+        if self._stop.is_set() and not self.drain:
+            # Stopped between claim and start: hand the task back untouched.
+            self.queue.release(claim)
+            return
+        spec = RunSpec.from_dict(task["spec"])
+        self._record_job(store, task, JobState.RUNNING)
+        events.emit(RunStarted)
+        self._log(
+            f"worker {self.worker_id} claimed {claim.task_id} "
+            f"(job {task['job_id']}, attempt {task['attempts']})"
+        )
+        try:
+            result = store.get(spec, task["fingerprint"])
+            store_hit = result is not None
+            if result is None:
+                from repro.api import runner
+
+                result = runner.execute(
+                    spec,
+                    emit_layer=lambda payload: events.emit(LayerScheduled, **payload),
+                )
+                store.put(result, task["fingerprint"])
+        except BaseException as error:
+            events.emit(
+                RunFailed, error_type=type(error).__name__, error_message=str(error)
+            )
+            self._record_job(
+                store,
+                task,
+                JobState.FAILED,
+                error={"type": type(error).__name__, "message": str(error)},
+                num_events=events.seq,
+            )
+            self.queue.fail(claim, error)
+            if isinstance(error, (KeyboardInterrupt, SystemExit)):
+                raise
+            return
+        if self._lease_lost.is_set():
+            # Presumed dead and re-dispatched: the store write stands (same
+            # bytes), but the re-dispatched attempt owns all bookkeeping.
+            self._log(f"worker {self.worker_id} lost the lease on {claim.task_id}")
+            return
+        events.emit(RunFinished, store_hit=store_hit, result=result.to_dict())
+        self._record_job(
+            store, task, JobState.DONE, store_hit=store_hit, num_events=events.seq
+        )
+        self.queue.complete(claim, store_hit=store_hit)
+        origin = "store hit" if store_hit else "fresh solve"
+        self._log(
+            f"worker {self.worker_id} finished {claim.task_id} "
+            f"(job {task['job_id']}, {origin})"
+        )
+
+    def _heartbeat_loop(self, claim: Claim, stop: threading.Event) -> None:
+        while not stop.wait(self.heartbeat_interval):
+            if not self.queue.heartbeat(claim):
+                self._lease_lost.set()
+                return
+
+    # ------------------------------------------------------------ bookkeeping
+    def _record_job(self, store: ResultStore, task: dict, state, **fields) -> None:
+        """Rewrite the job record the service created at submit time."""
+        record = store.load_job(task["job_id"]) or {
+            "job_id": task["job_id"],
+            "kind": task["spec"].get("kind", "schedule"),
+            "priority": task["priority"],
+            "spec_fingerprint": task["fingerprint"],
+            "store_hit": False,
+            "error": None,
+            "num_events": 0,
+            "spec": task["spec"],
+        }
+        record["state"] = state.value if hasattr(state, "value") else str(state)
+        record["worker"] = self.worker_id
+        record["task_id"] = task["task_id"]
+        record.update(fields)
+        store.record_job(record)
+
+
+def serve(argv=None) -> int:
+    """``python -m repro.fabric.worker`` — a minimal standalone entry point.
+
+    The full-featured spelling is ``repro worker`` (see :mod:`repro.cli`);
+    this module entry exists so the worker can run from a bare checkout.
+    """
+    from repro.cli import main
+
+    return main(["worker", *(argv if argv is not None else [])])
+
+
+if __name__ == "__main__":  # pragma: no cover - thin module runner
+    import sys
+
+    raise SystemExit(serve(sys.argv[1:]))

@@ -55,3 +55,47 @@ def atomic_write_json(path: str | Path, payload, indent: int | None = 2) -> Path
     """
     text = json.dumps(payload, indent=indent)
     return atomic_write_text(path, text + "\n")
+
+
+def append_ndjson(path: str | Path, payload) -> Path:
+    """Append one JSON object as a single NDJSON line to ``path``.
+
+    The line is serialized first and written with a single ``os.write`` on a
+    descriptor opened ``O_APPEND``, so concurrent appenders — worker
+    *processes* sharing one fabric journal, not just threads — interleave at
+    line granularity on POSIX instead of tearing each other's records.  A
+    writer killed mid-call can leave at most one torn trailing line, which
+    :func:`read_ndjson` tolerates by design.
+    """
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    line = (json.dumps(payload) + "\n").encode()
+    fd = os.open(target, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644)
+    try:
+        os.write(fd, line)
+    finally:
+        os.close(fd)
+    return target
+
+
+def read_ndjson(path: str | Path) -> list:
+    """Parse an NDJSON file, skipping a torn (crash-truncated) final line.
+
+    Only the *last* line may be unparsable — that is the append-crash
+    signature.  A bad line anywhere else is real corruption and raises.
+    """
+    target = Path(path)
+    if not target.exists():
+        return []
+    lines = target.read_text().splitlines()
+    records = []
+    for index, line in enumerate(lines):
+        if not line.strip():
+            continue
+        try:
+            records.append(json.loads(line))
+        except json.JSONDecodeError:
+            if index == len(lines) - 1:
+                break  # torn tail from a writer killed mid-append
+            raise
+    return records

@@ -229,7 +229,7 @@ class TestGatewayEndToEnd:
         raw = client.result_text(record["job_id"])
         store = gateway.store_for("acme")
         fingerprint = spec_fingerprint(RunSpec.from_dict(SCHEDULE_SPEC))
-        assert raw == (store.results_dir / f"{fingerprint}.json").read_text()
+        assert raw == store.result_path(fingerprint).read_text()
         # And semantically equal to a synchronous run() envelope (wall-clock
         # floats aside, every deterministic field matches).
         sync = run(RunSpec.from_dict(SCHEDULE_SPEC)).to_dict()

@@ -352,7 +352,7 @@ class TestResultStore:
         store = ResultStore(tmp_path / "store")
         with SchedulingService(max_workers=1, store=store) as service:
             result = service.submit(spec).result(timeout=300)
-        path = store.results_dir / f"{spec_fingerprint(spec)}.json"
+        path = store.result_path(spec_fingerprint(spec))
         assert path.exists()
         # The stored file IS the v1 envelope, no wrapper.
         assert json.loads(path.read_text()) == result.to_dict()

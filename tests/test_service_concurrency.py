@@ -407,5 +407,5 @@ class TestPerJobStore:
             elsewhere.result(timeout=120)
             assert elsewhere.store_hit is False
         fingerprint = spec_fingerprint(spec)
-        assert (tmp_path / "store-a" / "results" / f"{fingerprint}.json").exists()
-        assert (tmp_path / "store-b" / "results" / f"{fingerprint}.json").exists()
+        assert ResultStore(tmp_path / "store-a").result_path(fingerprint).exists()
+        assert ResultStore(tmp_path / "store-b").result_path(fingerprint).exists()

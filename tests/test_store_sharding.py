@@ -1,0 +1,235 @@
+"""Tests for the sharded, tiered result store (layout v2).
+
+Covers the fabric-era store features layered onto :class:`ResultStore`:
+fingerprint-prefix sharding with transparent migration of flat v1 trees,
+the warm in-memory LRU tier and its hit counters, size-bounded eviction
+(``gc``), temp-debris compaction, the stats summary, and cross-tenant
+envelope sharing through ``results_root``.  The golden-envelope guarantee —
+stored files are plain v1 ``RunResult`` JSON, bytes untouched by migration —
+is asserted explicitly.
+"""
+
+import json
+
+import pytest
+
+from repro.api import RunSpec, run, spec_fingerprint
+from repro.api.store import (
+    DEFAULT_SHARD_DEPTH,
+    STORE_LAYOUT_VERSION,
+    ResultStore,
+)
+
+SCHEDULE_SPEC = {
+    "kind": "schedule",
+    "workload": {"layers": ["3_4_8_16_1"]},
+    "scheduler": {"name": "random", "options": {"num_valid": 2, "max_attempts": 500}},
+}
+
+
+@pytest.fixture(scope="module")
+def envelope():
+    return run(RunSpec.from_dict(SCHEDULE_SPEC))
+
+
+class TestShardedLayout:
+    def test_results_are_sharded_by_fingerprint_prefix(self, tmp_path, envelope):
+        store = ResultStore(tmp_path / "store")
+        fingerprint = spec_fingerprint(envelope.spec)
+        path = store.put(envelope)
+        assert path == store.result_path(fingerprint)
+        assert path.parent.name == fingerprint[:DEFAULT_SHARD_DEPTH]
+        assert path.parent.parent == store.results_dir
+
+    def test_meta_file_records_layout(self, tmp_path, envelope):
+        store = ResultStore(tmp_path / "store", shard_depth=3)
+        store.put(envelope)
+        meta = json.loads((tmp_path / "store" / "store.json").read_text())
+        assert meta == {"layout_version": STORE_LAYOUT_VERSION, "shard_depth": 3}
+
+    def test_on_disk_meta_wins_over_constructor_argument(self, tmp_path, envelope):
+        first = ResultStore(tmp_path / "store", shard_depth=1)
+        first.put(envelope)
+        # A second opener asking for a different depth must follow the disk —
+        # every process sharing one results tree has to shard identically.
+        second = ResultStore(tmp_path / "store", shard_depth=4)
+        assert second.shard_depth == 1
+        assert second.load(spec_fingerprint(envelope.spec)) is not None
+
+    def test_shard_depth_zero_keeps_a_flat_layout(self, tmp_path, envelope):
+        store = ResultStore(tmp_path / "store", shard_depth=0)
+        path = store.put(envelope)
+        assert path.parent == store.results_dir
+
+    def test_invalid_shard_depth_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            ResultStore(tmp_path / "store", shard_depth=9).shard_depth
+
+
+class TestFlatV1Migration:
+    def make_flat_store(self, root, envelope):
+        """Lay out a pre-fabric (flat v1) store by hand: no meta, loose files."""
+        fingerprint = spec_fingerprint(envelope.spec)
+        results = root / "results"
+        results.mkdir(parents=True)
+        (results / f"{fingerprint}.json").write_text(envelope.to_json())
+        return fingerprint
+
+    def test_flat_files_migrate_on_first_open(self, tmp_path, envelope):
+        fingerprint = self.make_flat_store(tmp_path / "store", envelope)
+        flat_bytes = (tmp_path / "store" / "results" / f"{fingerprint}.json").read_bytes()
+        store = ResultStore(tmp_path / "store")
+        loaded = store.get(RunSpec.from_dict(SCHEDULE_SPEC))
+        assert loaded is not None and store.stats.hits == 1
+        # The file moved into its shard — and its bytes are untouched, so
+        # golden v1 envelopes survive the migration verbatim.
+        assert not (tmp_path / "store" / "results" / f"{fingerprint}.json").exists()
+        assert store.result_path(fingerprint).read_bytes() == flat_bytes
+
+    def test_migration_is_idempotent(self, tmp_path, envelope):
+        fingerprint = self.make_flat_store(tmp_path / "store", envelope)
+        assert ResultStore(tmp_path / "store").load(fingerprint) is not None
+        assert ResultStore(tmp_path / "store").load(fingerprint) is not None
+
+    def test_store_hit_semantics_survive_migration(self, tmp_path, envelope):
+        self.make_flat_store(tmp_path / "store", envelope)
+        store = ResultStore(tmp_path / "store")
+        hit = store.get(RunSpec.from_dict(SCHEDULE_SPEC))
+        assert hit.to_dict() == envelope.to_dict()
+        assert (store.stats.hits, store.stats.misses) == (1, 0)
+
+
+class TestWarmTier:
+    def test_second_get_is_a_warm_hit(self, tmp_path, envelope):
+        store = ResultStore(tmp_path / "store")
+        store.put(envelope)
+        reader = ResultStore(tmp_path / "store")  # cold instance
+        spec = RunSpec.from_dict(SCHEDULE_SPEC)
+        reader.get(spec)
+        reader.get(spec)
+        assert reader.stats.disk_hits == 1
+        assert reader.stats.warm_hits == 1
+        assert reader.stats.hits == 2  # the pre-fabric total still adds up
+
+    def test_warm_capacity_zero_disables_the_tier(self, tmp_path, envelope):
+        store = ResultStore(tmp_path / "store", warm_capacity=0)
+        store.put(envelope)
+        spec = RunSpec.from_dict(SCHEDULE_SPEC)
+        store.get(spec)
+        store.get(spec)
+        assert store.stats.warm_hits == 0
+        assert store.stats.disk_hits == 2
+
+    def test_warm_tier_evicts_least_recently_used(self, tmp_path, envelope):
+        store = ResultStore(tmp_path / "store", warm_capacity=2)
+        for name in ("aa", "bb", "cc"):
+            store._warm_put(name * 20, envelope)
+        assert "aa" * 20 not in store._warm
+        assert {"bb" * 20, "cc" * 20} <= set(store._warm)
+
+
+class TestGcAndCompaction:
+    def fill(self, store, envelope, count):
+        """Store ``count`` distinct-fingerprint copies with increasing mtimes."""
+        import os
+        import time
+
+        fingerprints = []
+        for index in range(count):
+            fingerprint = f"{index:02d}" + "e" * 38
+            path = store.put(envelope, fingerprint)
+            stamp = time.time() - (count - index) * 100
+            os.utime(path, (stamp, stamp))
+            fingerprints.append(fingerprint)
+        return fingerprints
+
+    def test_gc_evicts_oldest_first_until_under_bound(self, tmp_path, envelope):
+        store = ResultStore(tmp_path / "store")
+        fingerprints = self.fill(store, envelope, 4)
+        size = store.result_path(fingerprints[0]).stat().st_size
+        report = store.gc(max_bytes=2 * size)
+        assert report.evicted == fingerprints[:2]  # oldest mtimes go first
+        assert not store.result_path(fingerprints[0]).exists()
+        assert store.result_path(fingerprints[3]).exists()
+        assert store.stats.evictions == 2
+        assert store.load(fingerprints[0]) is None  # warm tier dropped too
+
+    def test_gc_dry_run_touches_nothing(self, tmp_path, envelope):
+        store = ResultStore(tmp_path / "store")
+        fingerprints = self.fill(store, envelope, 3)
+        report = store.gc(max_bytes=0, dry_run=True)
+        assert len(report.evicted) == 3 and report.dry_run is True
+        assert all(store.result_path(f).exists() for f in fingerprints)
+        assert store.stats.evictions == 0
+
+    def test_put_with_max_bytes_evicts_opportunistically(self, tmp_path, envelope):
+        probe = ResultStore(tmp_path / "probe")
+        size = probe.put(envelope).stat().st_size
+        store = ResultStore(tmp_path / "store", max_bytes=2 * size)
+        self.fill(store, envelope, 4)
+        assert len(store) <= 2
+
+    def test_compact_sweeps_stale_temp_files_and_empty_shards(self, tmp_path, envelope):
+        import os
+        import time
+
+        store = ResultStore(tmp_path / "store")
+        [fingerprint] = self.fill(store, envelope, 1)
+        shard = store.result_path(fingerprint).parent
+        debris = shard / ".crashed-writer.tmp"
+        debris.write_text("{")
+        old = time.time() - 3600
+        os.utime(debris, (old, old))
+        fresh = shard / ".inflight-writer.tmp"
+        fresh.write_text("{")
+        empty = store.results_dir / "zz"
+        empty.mkdir()
+
+        report = store.compact()
+        assert report.removed_temp_files == 1
+        assert report.removed_empty_shards == 1
+        assert not debris.exists()
+        assert fresh.exists()  # young temp files may be in-flight writes
+        assert not empty.exists()
+        assert store.result_path(fingerprint).exists()
+
+    def test_stats_summary_snapshot(self, tmp_path, envelope):
+        store = ResultStore(tmp_path / "store")
+        store.put(envelope)
+        store.get(RunSpec.from_dict(SCHEDULE_SPEC))
+        summary = store.stats_summary()
+        assert summary["entries"] == 1
+        assert summary["bytes"] > 0
+        assert summary["layout_version"] == STORE_LAYOUT_VERSION
+        assert summary["shard_depth"] == DEFAULT_SHARD_DEPTH
+        assert sum(summary["shards"].values()) == 1
+        assert summary["counters"]["warm_hits"] == 1  # put() warmed the tier
+        assert summary["warm_tier"]["entries"] == 1
+
+
+class TestSharedResultsRoot:
+    def test_envelopes_shared_records_private(self, tmp_path, envelope):
+        shared = tmp_path / "shared"
+        acme = ResultStore(tmp_path / "acme", "acme-", results_root=shared)
+        globex = ResultStore(tmp_path / "globex", "globex-", results_root=shared)
+        spec = RunSpec.from_dict(SCHEDULE_SPEC)
+
+        acme.put(envelope)
+        # The other tenant's store sees the envelope without a fresh solve...
+        assert globex.get(spec) is not None
+        assert globex.stats.hits == 1
+        assert acme.result_path(spec_fingerprint(spec)) == globex.result_path(
+            spec_fingerprint(spec)
+        )
+        # ...while job records stay in each tenant's private subtree.
+        acme_id = acme.allocate_job_id(spec_fingerprint(spec))
+        acme.record_job({"job_id": acme_id, "state": "done"})
+        assert globex.load_jobs() == []
+        assert acme.load_job(acme_id) is not None
+        assert (tmp_path / "acme" / "jobs").is_dir()
+        assert not (tmp_path / "globex" / "jobs").is_dir()
+
+    def test_results_root_defaults_to_root(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        assert store.results_root == store.root
+        assert store.results_dir == tmp_path / "store" / "results"
