@@ -1,0 +1,63 @@
+"""Fusion: schedule an attention chain (QK -> softmax -> AV) as one group.
+
+Fusion groups make producer-consumer chains first-class schedulable units:
+the engine solves each operator, then re-tiles the chain to a shared outer
+tiling so the intermediates (the score matrices) stay pinned in the global
+buffer instead of round-tripping through DRAM.  The fused cost model
+reports both sides — the pinned schedule and the plain per-operator sum —
+so the savings are always visible.
+
+Run:  python examples/fusion_attention.py
+"""
+
+from repro.api import RunSpec, run
+
+
+def main() -> None:
+    # 1. Declare the experiment: a registered fusion group instead of a
+    #    layer list.  The factory options parameterize the chain; this one
+    #    is deliberately small so the example runs in seconds.
+    spec = RunSpec.from_dict(
+        {
+            "kind": "schedule",
+            "arch": "baseline-4x4",
+            "workload": {
+                "fusion": "attention-block",
+                "fusion_options": {"seq": 64, "heads": 4, "head_dim": 32},
+            },
+            "scheduler": "cosa",
+        }
+    )
+
+    result = run(spec)
+    for outcome in result.data["outcomes"]:
+        print(f"scheduled {outcome['layer']}: succeeded={outcome['succeeded']}")
+
+    # 2. The fusion block of the payload carries the group-level accounting:
+    #    pinned edges, pipeline rounds, and DRAM words fused vs unfused.
+    fusion = result.data["fusion"]
+    group = fusion["groups"][0]
+    cost = group["cost"]
+    print()
+    print(f"group {group['name']}: fused={group['fused']}, retiled={group['retiled']}")
+    print(f"pinned edges   : {len([e for e in cost['edges'] if e['pinned']])}")
+    print(f"pipeline rounds: {cost['pipeline_rounds']}")
+    print(f"DRAM words     : {cost['unfused_dram_words']:.0f} unfused "
+          f"-> {cost['dram_words']:.0f} fused "
+          f"(-{100 * (1 - cost['dram_words'] / cost['unfused_dram_words']):.1f}%)")
+    print(f"energy         : {cost['unfused_energy']/1e6:.3f} uJ unfused "
+          f"-> {cost['energy']/1e6:.3f} uJ fused")
+
+    # 3. The claimed savings are cross-checked against the NoC reuse
+    #    analysis of the final mappings; "consistent" means they agree.
+    print(f"NoC validation : consistent={group['traffic']['consistent']}")
+
+    # 4. Whole transformer blocks work the same way through the group-aware
+    #    presets — 'auto' also exists to greedily group any layer list.
+    print()
+    print(f"plan totals: saved {fusion['saved_dram_words']:.0f} DRAM words, "
+          f"{fusion['saved_energy_pj']/1e6:.3f} uJ")
+
+
+if __name__ == "__main__":
+    main()

@@ -67,9 +67,11 @@ from repro.api.registry import (
     Registry,
     UnknownNameError,
     architectures,
+    fusion_groups,
     platforms,
     problems,
     register_architecture,
+    register_fusion_group,
     register_platform,
     register_problem,
     register_scheduler,
@@ -97,9 +99,11 @@ __all__ = [
     "Registry",
     "UnknownNameError",
     "architectures",
+    "fusion_groups",
     "platforms",
     "problems",
     "register_architecture",
+    "register_fusion_group",
     "register_platform",
     "register_problem",
     "register_scheduler",

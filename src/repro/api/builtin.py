@@ -1,14 +1,15 @@
-"""Built-in registrations for the four experiment axes.
+"""Built-in registrations for the experiment axes.
 
 Importing :mod:`repro.api` loads this module once, populating the
 registries with everything the repository ships: the four spatial /
 GPU architecture presets, the evaluated workloads (the paper's four DNNs
 plus the transformer-block presets), the six schedulers (CoSA, the four
-search baselines, CoSA-GPU), the two evaluation platforms and the
+search baselines, CoSA-GPU), the two evaluation platforms, the
 tensor-problem factories (conv, matmul, depthwise/grouped conv,
-attention).  Heavy dependencies (scipy via the MIP backend,
-the NoC simulator) are imported inside the factories, so ``import
-repro.api`` stays light.
+attention, softmax, bn-relu) and the fusion-group presets (attention
+chains, conv-bn-relu, group-aware transformer blocks).  Heavy
+dependencies (scipy via the MIP backend, the NoC simulator) are imported
+inside the factories, so ``import repro.api`` stays light.
 
 Plugins follow the same pattern from any module::
 
@@ -26,7 +27,14 @@ factories whose signature accepts them.
 
 from __future__ import annotations
 
-from repro.api.registry import architectures, platforms, problems, schedulers, workloads
+from repro.api.registry import (
+    architectures,
+    fusion_groups,
+    platforms,
+    problems,
+    schedulers,
+    workloads,
+)
 
 # ----------------------------------------------------------------- schedulers
 
@@ -281,3 +289,70 @@ def _make_attention_av_problem(
     return attention_av(
         seq=seq, heads=heads, head_dim=head_dim, batch=batch, kv_seq=kv_seq, name=name
     )
+
+
+@problems.register("softmax", description="row-wise softmax-scale over attention scores")
+def _make_softmax_problem(
+    batch: int = 1, *, seq: int, heads: int, kv_seq: int | None = None, name: str = ""
+):
+    from repro.workloads.problem import softmax
+
+    return softmax(seq=seq, heads=heads, batch=batch, kv_seq=kv_seq, name=name)
+
+
+@problems.register("bn-relu", description="fused batch-norm + ReLU over conv activations")
+def _make_bn_relu_problem(
+    batch: int = 1, *, p: int, k: int, q: int | None = None, name: str = ""
+):
+    from repro.workloads.problem import bn_relu
+
+    return bn_relu(p=p, k=k, n=batch, q=q, name=name)
+
+
+# -------------------------------------------------------------- fusion groups
+
+
+@fusion_groups.register(
+    "attention-block",
+    description="fused QK -> softmax-scale -> AV chain (score matrices stay on-chip)",
+)
+def _make_attention_block_group(
+    batch: int = 1, *, seq: int, heads: int, head_dim: int, kv_seq: int | None = None
+):
+    from repro.fusion.presets import attention_block
+
+    return attention_block(
+        seq=seq, heads=heads, head_dim=head_dim, batch=batch, kv_seq=kv_seq
+    )
+
+
+@fusion_groups.register(
+    "conv-bn-relu",
+    description="convolution -> fused batch-norm/ReLU (activations stay on-chip)",
+)
+def _make_conv_bn_relu_group(
+    batch: int = 1, *, r: int, p: int, c: int, k: int, stride: int = 1
+):
+    from repro.fusion.presets import conv_bn_relu
+
+    return conv_bn_relu(r=r, p=p, c=c, k=k, stride=stride, batch=batch)
+
+
+@fusion_groups.register(
+    "bert-base-block",
+    description="group-aware BERT-base block: fused attention chain + singleton matmuls",
+)
+def _make_bert_base_block_plan(batch: int = 1, *, seq: int = 128):
+    from repro.fusion.presets import bert_base_block_plan
+
+    return bert_base_block_plan(batch=batch, seq=seq)
+
+
+@fusion_groups.register(
+    "gpt2-small-block",
+    description="group-aware GPT-2-small block: fused attention chain + singleton matmuls",
+)
+def _make_gpt2_small_block_plan(batch: int = 1, *, seq: int = 1024):
+    from repro.fusion.presets import gpt2_small_block_plan
+
+    return gpt2_small_block_plan(batch=batch, seq=seq)

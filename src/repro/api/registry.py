@@ -20,6 +20,9 @@ problem        ``factory(batch=1, **dims) -> ProblemLayer | list[ProblemLayer]``
                (a tensor-problem template of
                :mod:`repro.workloads.problem`, parameterized by its
                dimension sizes)
+fusion-group   ``factory(batch=1, **options) -> FusionGroup | FusionPlan``
+               (a fused operator chain or whole-network fusion plan of
+               :mod:`repro.fusion`, scheduled as one unit)
 =============  ============================================================
 
 Lookup failures raise a :class:`UnknownNameError` (a ``KeyError``) that
@@ -146,6 +149,7 @@ architectures = Registry("architecture")
 platforms = Registry("platform")
 workloads = Registry("workload")
 problems = Registry("problem")
+fusion_groups = Registry("fusion-group")
 
 
 def register_scheduler(name: str, *, description: str = "", replace: bool = False):
@@ -173,6 +177,11 @@ def register_problem(name: str, *, description: str = "", replace: bool = False)
     return problems.register(name, description=description, replace=replace)
 
 
+def register_fusion_group(name: str, *, description: str = "", replace: bool = False):
+    """Decorator registering a fusion-group factory: ``f(batch=1, **options) -> group/plan``."""
+    return fusion_groups.register(name, description=description, replace=replace)
+
+
 #: All registries keyed by axis name (used by ``repro registry``).
 ALL_REGISTRIES: dict[str, Registry] = {
     "schedulers": schedulers,
@@ -180,4 +189,5 @@ ALL_REGISTRIES: dict[str, Registry] = {
     "platforms": platforms,
     "workloads": workloads,
     "problems": problems,
+    "fusion_groups": fusion_groups,
 }

@@ -39,7 +39,14 @@ import json
 import math
 from pathlib import Path
 
-from repro.api.registry import architectures, platforms, problems, schedulers, workloads
+from repro.api.registry import (
+    architectures,
+    fusion_groups,
+    platforms,
+    problems,
+    schedulers,
+    workloads,
+)
 from repro.api.result import LEGACY_SCHEMA_VERSION, SCHEMA_VERSION, RunResult
 from repro.api.specs import RunSpec, WorkloadSpec
 
@@ -152,10 +159,46 @@ def _engine_observer(emit_layer, scheduler_name: str):
 # ----------------------------------------------------------------- resolution
 
 
+def _register_layer_problems(layers) -> None:
+    """Auto-register each layer's TensorProblem for name-based lookup, so
+    serialized mappings and cache entries of plugin problems load in this
+    process without the author calling both register APIs."""
+    from repro.workloads.problem import register_problem as register_ir_problem
+
+    for layer in layers:
+        register_ir_problem(layer.problem)
+
+
+def _resolve_fusion(workload: WorkloadSpec):
+    """Resolve the fusion axis into ``(label, FusionPlan)``.
+
+    Only called for standalone fusion-group workloads (``fusion`` naming a
+    registry entry); ``fusion='auto'`` is resolved against the layers of the
+    conventionally named workload instead.
+    """
+    from repro.fusion.group import FusionGroup
+    from repro.fusion.plan import FusionPlan
+
+    factory = fusion_groups.get(workload.fusion)
+    built = factory(batch=workload.batch, **workload.fusion_options)
+    if isinstance(built, FusionGroup):
+        built = FusionPlan(groups=(built,))
+    if not isinstance(built, FusionPlan):
+        raise TypeError(
+            f"fusion-group factory {workload.fusion!r} must return a FusionGroup "
+            f"or FusionPlan, got {type(built).__name__}"
+        )
+    _register_layer_problems(built.layers)
+    return workload.fusion, built
+
+
 def _resolve_layers(workload: WorkloadSpec) -> tuple[str, list]:
     """Resolve a workload spec into ``(label, layers)`` via the registries."""
     from repro.workloads.networks import layer_from_name
 
+    if workload.fusion not in (None, "auto"):
+        label, plan = _resolve_fusion(workload)
+        return label, plan.layers
     if workload.network is not None:
         label = workload.network
         layers = workloads.create(workload.network, batch=workload.batch)
@@ -166,13 +209,7 @@ def _resolve_layers(workload: WorkloadSpec) -> tuple[str, list]:
         factory = problems.get(workload.problem)
         built = factory(batch=workload.batch, **workload.problem_options)
         layers = list(built) if isinstance(built, (list, tuple)) else [built]
-        # Auto-register each layer's TensorProblem for name-based lookup, so
-        # serialized mappings and cache entries of plugin problems load in
-        # this process without the author calling both register_problem APIs.
-        from repro.workloads.problem import register_problem as register_ir_problem
-
-        for layer in layers:
-            register_ir_problem(layer.problem)
+        _register_layer_problems(layers)
     else:
         label = "custom"
         layers = [layer_from_name(name, batch=workload.batch) for name in workload.layers]
@@ -191,7 +228,7 @@ def _schema_version(spec: RunSpec, layers) -> int:
     registered workload*, which now includes the transformer-block presets,
     so such suites resolve non-conv layers and stamp v2.
     """
-    if spec.workload.uses_problem_axis:
+    if spec.workload.uses_problem_axis or spec.workload.uses_fusion:
         return SCHEMA_VERSION
     if any(layer.problem.name != "conv7" for layer in layers):
         return SCHEMA_VERSION
@@ -257,7 +294,16 @@ def _run_schedule(spec: RunSpec, accelerator, cache, emit_layer=None) -> RunResu
     from repro.engine import SchedulingEngine
     from repro.mapping.loopnest import render_loop_nest
 
-    label, layers = _resolve_layers(spec.workload)
+    plan = None
+    if spec.workload.fusion not in (None, "auto"):
+        label, plan = _resolve_fusion(spec.workload)
+        layers = plan.layers
+    else:
+        label, layers = _resolve_layers(spec.workload)
+        if spec.workload.fusion == "auto":
+            from repro.fusion.plan import auto_group
+
+            plan = auto_group(layers)
     scheduler = _build_scheduler(spec, accelerator)
     engine = SchedulingEngine(scheduler, cache=cache)
     network = engine.schedule_network(
@@ -266,6 +312,7 @@ def _run_schedule(spec: RunSpec, accelerator, cache, emit_layer=None) -> RunResu
         executor=spec.engine.executor,
         label=label,
         observer=_engine_observer(emit_layer, scheduler.name),
+        fusion=plan,
     )
     # The engine already evaluated the analytical metrics once per mapping,
     # and the built-in "timeloop" platform reports exactly those — only other
@@ -298,6 +345,27 @@ def _run_schedule(spec: RunSpec, accelerator, cache, emit_layer=None) -> RunResu
         "stats": network.stats.to_dict(),
         "outcomes": outcomes,
     }
+    if plan is not None:
+        group_payloads = [group.to_dict() for group in network.groups]
+        data["fusion"] = {
+            "plan": {
+                "fingerprint": plan.fingerprint(),
+                "num_groups": len(plan.groups),
+                "num_fused_groups": plan.num_fused_groups,
+                "num_fused_edges": plan.num_fused_edges,
+            },
+            "groups": group_payloads,
+            "saved_dram_words": sum(
+                group.cost.unfused_dram_words - group.cost.dram_words
+                for group in network.groups
+                if group.cost is not None and group.cost.valid
+            ),
+            "saved_energy_pj": sum(
+                group.cost.unfused_energy - group.cost.energy
+                for group in network.groups
+                if group.cost is not None and group.cost.valid
+            ),
+        }
     artifacts = {"accelerator": accelerator, "scheduler": scheduler, "network": network}
     return RunResult(
         kind="schedule",
@@ -316,6 +384,11 @@ def _run_compare(spec: RunSpec, accelerator, cache, emit_layer=None) -> RunResul
         raise ValueError(
             f"unknown compare option(s) {', '.join(map(repr, unknown))}; "
             f"allowed: {', '.join(COMPARE_OPTIONS)}"
+        )
+    if spec.workload.fusion is not None:
+        raise ValueError(
+            "kind='compare' does not support fusion-group scheduling; "
+            "run kind='schedule' with the fusion workload instead"
         )
     label, layers = _resolve_layers(spec.workload)
     config = ComparisonConfig(
@@ -383,6 +456,11 @@ def _run_compare(spec: RunSpec, accelerator, cache, emit_layer=None) -> RunResul
 def _run_suite(spec: RunSpec, accelerator, cache, emit_layer=None) -> RunResult:
     from repro.engine import SchedulingEngine
 
+    if spec.workload.fusion is not None:
+        raise ValueError(
+            "kind='suite' does not support fusion-group scheduling; "
+            "run kind='schedule' with the fusion workload instead"
+        )
     suite = _resolve_suite(spec.workload)
     scheduler = _build_scheduler(spec, accelerator)
     engine = SchedulingEngine(scheduler, cache=cache)

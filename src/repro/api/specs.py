@@ -99,15 +99,25 @@ class WorkloadSpec:
     "n": 768, "k": 768}``).  ``first_layers`` truncates for quick runs;
     ``batch`` is the batch size of every layer.
 
-    Serialisation note: the ``problem`` / ``problem_options`` keys are only
-    emitted when the problem axis is used, so legacy conv specs (and their
-    fingerprints and golden envelopes) are byte-identical to schema v1.
+    ``fusion`` opts the run into fusion-group scheduling: ``"auto"`` runs
+    the greedy auto-grouper over the named workload's operators, while any
+    other value names an entry of the fusion-group registry (e.g.
+    ``attention-block``) and *is itself the workload* — a standalone fused
+    group scheduled as one unit, with ``fusion_options`` carrying the
+    factory's keyword options (e.g. ``{"seq": 128, "heads": 12}``).
+
+    Serialisation note: the ``problem`` / ``problem_options`` and
+    ``fusion`` / ``fusion_options`` keys are only emitted when their axis is
+    used, so legacy conv specs (and their fingerprints and golden
+    envelopes) are byte-identical to earlier schemas.
     """
 
     network: str | None = None
     layers: tuple[str, ...] = ()
     problem: str | None = None
     problem_options: dict = field(default_factory=dict)
+    fusion: str | None = None
+    fusion_options: dict = field(default_factory=dict)
     first_layers: int | None = None
     batch: int = 1
 
@@ -128,19 +138,62 @@ class WorkloadSpec:
             "WorkloadSpec.problem_options must not contain 'batch'; "
             "set WorkloadSpec.batch instead",
         )
+        if self.fusion is not None:
+            _check_str(self.fusion, "WorkloadSpec.fusion")
+        _require(
+            isinstance(self.fusion_options, dict),
+            f"WorkloadSpec.fusion_options must be an object, got {self.fusion_options!r}",
+        )
+        _require(
+            "batch" not in self.fusion_options,
+            "WorkloadSpec.fusion_options must not contain 'batch'; "
+            "set WorkloadSpec.batch instead",
+        )
         # Detach from the caller's dict so the frozen spec (and anything
         # keyed off it, e.g. store fingerprints) cannot change after validation.
         object.__setattr__(self, "problem_options", dict(self.problem_options))
+        object.__setattr__(self, "fusion_options", dict(self.fusion_options))
+        # A named fusion group (anything but "auto") is itself the workload,
+        # so it participates in the at-most-one rule; "auto" modifies a
+        # workload named through another axis instead.
+        named_fusion = self.fusion if self.fusion not in (None, "auto") else None
         named = sum(
-            1 for used in (self.network, self.layers or None, self.problem) if used
+            1
+            for used in (self.network, self.layers or None, self.problem, named_fusion)
+            if used
         )
         _require(
             named <= 1,
-            "WorkloadSpec must name at most one of network / layers / problem",
+            "WorkloadSpec must name at most one of network / layers / problem / "
+            "fusion group",
         )
         _require(
             not (self.problem_options and self.problem is None),
             "WorkloadSpec.problem_options requires WorkloadSpec.problem",
+        )
+        _require(
+            not (self.fusion_options and self.fusion is None),
+            "WorkloadSpec.fusion_options requires WorkloadSpec.fusion",
+        )
+        _require(
+            not (
+                self.fusion == "auto"
+                and self.network is None
+                and not self.layers
+                and self.problem is None
+            ),
+            "WorkloadSpec.fusion='auto' needs a workload to group: name a "
+            "network, explicit layers or a problem",
+        )
+        _require(
+            not (self.fusion == "auto" and self.fusion_options),
+            "WorkloadSpec.fusion_options requires a named fusion group, "
+            "not fusion='auto'",
+        )
+        _require(
+            not (named_fusion and self.first_layers is not None),
+            "WorkloadSpec.first_layers cannot truncate a named fusion group "
+            "(groups are scheduled whole)",
         )
         if self.first_layers is not None:
             _check_int(self.first_layers, "WorkloadSpec.first_layers", minimum=1)
@@ -148,8 +201,18 @@ class WorkloadSpec:
 
     @property
     def is_empty(self) -> bool:
-        """True when no network, explicit layers or problem was named."""
-        return self.network is None and not self.layers and self.problem is None
+        """True when no network, explicit layers, problem or fusion group was named."""
+        return (
+            self.network is None
+            and not self.layers
+            and self.problem is None
+            and self.fusion in (None, "auto")
+        )
+
+    @property
+    def uses_fusion(self) -> bool:
+        """True when the run goes through the fusion-group scheduling path."""
+        return self.fusion is not None
 
     @property
     def uses_problem_axis(self) -> bool:
@@ -166,6 +229,9 @@ class WorkloadSpec:
         if self.problem is not None:
             data["problem"] = self.problem
             data["problem_options"] = dict(self.problem_options)
+        if self.fusion is not None:
+            data["fusion"] = self.fusion
+            data["fusion_options"] = dict(self.fusion_options)
         return data
 
     @classmethod
@@ -174,7 +240,16 @@ class WorkloadSpec:
             return cls(network=data)
         _require_keys(
             data,
-            ("network", "layers", "problem", "problem_options", "first_layers", "batch"),
+            (
+                "network",
+                "layers",
+                "problem",
+                "problem_options",
+                "fusion",
+                "fusion_options",
+                "first_layers",
+                "batch",
+            ),
             "WorkloadSpec",
         )
         layers = data.get("layers") or ()
@@ -189,6 +264,8 @@ class WorkloadSpec:
             layers=tuple(layers),
             problem=data.get("problem"),
             problem_options=dict(data.get("problem_options") or {}),
+            fusion=data.get("fusion"),
+            fusion_options=dict(data.get("fusion_options") or {}),
             first_layers=data.get("first_layers"),
             batch=data.get("batch", 1),
         )

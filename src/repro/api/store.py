@@ -118,7 +118,10 @@ class StoreStats:
     """Hit/miss counters of one :class:`ResultStore` instance.
 
     ``hits`` remains the total (warm + disk) so pre-fabric consumers keep
-    reading the same field; the tier split rides alongside.
+    reading the same field; the tier split rides alongside.  ``fused_hits``
+    counts the subset of hits whose spec requested fusion-group scheduling
+    (``spec.workload.fusion`` set), so operators can see how much of the
+    store traffic the fusion tier serves.
     """
 
     hits: int = 0
@@ -126,6 +129,7 @@ class StoreStats:
     puts: int = 0
     warm_hits: int = 0
     disk_hits: int = 0
+    fused_hits: int = 0
     evictions: int = 0
 
     def to_dict(self) -> dict:
@@ -135,6 +139,7 @@ class StoreStats:
             "puts": self.puts,
             "warm_hits": self.warm_hits,
             "disk_hits": self.disk_hits,
+            "fused_hits": self.fused_hits,
             "evictions": self.evictions,
         }
 
@@ -359,6 +364,8 @@ class ResultStore:
                 self.stats.warm_hits += 1
             else:
                 self.stats.disk_hits += 1
+            if spec.workload.fusion is not None:
+                self.stats.fused_hits += 1
         return result
 
     def put(self, result: RunResult, fingerprint: str | None = None) -> Path:

@@ -7,6 +7,9 @@ Python::
     repro schedule 3_7_512_512_1 --arch pe-8x8   # Fig. 9a variant
     repro schedule 3_7_512_512_1 --scheduler hybrid --platform noc
     repro schedule 1_7_512_2048_1 --scheduler gpu --arch gpu-k80
+    repro schedule --fusion attention-block \
+        --fusion-option seq=64 --fusion-option heads=4 \
+        --fusion-option head_dim=32                  # fused QK/softmax/AV chain
     repro compare resnet50 --layers 4 --jobs 4   # three-scheduler comparison
     repro suite --jobs 4 --cache mappings.json   # CoSA over all four networks
     repro run examples/specs/resnet50_compare.json --json
@@ -92,8 +95,13 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    schedule = sub.add_parser("schedule", help="schedule one layer and report its cost")
-    schedule.add_argument("layer", help="layer in R_P_C_K_Stride form, e.g. 3_7_512_512_1")
+    schedule = sub.add_parser(
+        "schedule", help="schedule one layer (or a fusion group) and report its cost"
+    )
+    schedule.add_argument(
+        "layer", nargs="?", default=None,
+        help="layer in R_P_C_K_Stride form, e.g. 3_7_512_512_1 (optional with --fusion)",
+    )
     schedule.add_argument("--arch", default="baseline-4x4", choices=sorted(architectures.available()))
     schedule.add_argument(
         "--scheduler", default="cosa", choices=sorted(schedulers.available()),
@@ -105,6 +113,7 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     schedule.add_argument("--batch", type=int, default=1, help="batch size N")
     schedule.add_argument("--save", metavar="FILE", help="write the mapping to a JSON file")
+    _add_fusion_arguments(schedule)
     _add_engine_arguments(schedule)
 
     compare = sub.add_parser(
@@ -140,6 +149,7 @@ def _build_parser() -> argparse.ArgumentParser:
         help="stream the job's events to stdout as NDJSON while it executes "
         "(the final run_finished line carries the full result envelope)",
     )
+    _add_fusion_arguments(run)
 
     submit = sub.add_parser(
         "submit", help="submit a RunSpec as a service job recorded in the result store"
@@ -263,7 +273,7 @@ def _build_parser() -> argparse.ArgumentParser:
     registry = sub.add_parser("registry", help="list the plugin registries of the public API")
     registry.add_argument(
         "axis", nargs="?", choices=sorted(ALL_REGISTRIES),
-        help="only this axis (default: all four)",
+        help="only this axis (default: every axis)",
     )
     registry.add_argument(
         "--json", action="store_true",
@@ -319,6 +329,33 @@ def _add_engine_arguments(parser: argparse.ArgumentParser) -> None:
         help="evaluation-kernel backend for the search baselines "
         "(default: compiled numpy kernels; all backends are bit-identical)",
     )
+
+
+def _add_fusion_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--fusion", metavar="NAME", default=None,
+        help="schedule a registered fusion group/plan as one unit "
+        "(see `repro registry fusion_groups`; 'auto' greedily groups the layers)",
+    )
+    parser.add_argument(
+        "--fusion-option", dest="fusion_options", action="append", default=[],
+        metavar="KEY=VALUE",
+        help="fusion-group factory option, repeatable (e.g. --fusion-option seq=64)",
+    )
+
+
+def _parse_fusion_options(pairs) -> dict:
+    """``KEY=VALUE`` pairs to a factory-kwargs dict (values parsed as JSON)."""
+    options = {}
+    for pair in pairs:
+        key, sep, value = pair.partition("=")
+        if not sep or not key:
+            raise ValueError(f"fusion option must be KEY=VALUE, got {pair!r}")
+        try:
+            options[key] = json.loads(value)
+        except json.JSONDecodeError:
+            options[key] = value  # bare strings pass through unquoted
+    return options
 
 
 def _add_store_argument(parser: argparse.ArgumentParser) -> None:
@@ -432,6 +469,15 @@ def _render_schedule(result, as_json: bool, save: str | None = None) -> int:
                 f"NoC-simulated latency: {noc_result.latency / 1e6:.3f} MCycles "
                 f"(bound by {noc_result.bound_by})"
             )
+    if "fusion" in result.data:
+        fusion = result.data["fusion"]
+        lines.append("")
+        lines.append(
+            f"fusion: {fusion['plan']['num_fused_groups']} fused group(s), "
+            f"{fusion['plan']['num_fused_edges']} pinned edge(s); "
+            f"saved {fusion['saved_dram_words']} DRAM words, "
+            f"{fusion['saved_energy_pj'] / 1e6:.3f} uJ"
+        )
     if "saved_to" in result.data:
         lines.append(f"mapping written to {result.data['saved_to']}")
     print("\n".join(lines))
@@ -517,14 +563,26 @@ def _execute(spec: RunSpec, as_json: bool, save: str | None = None) -> int:
 
 
 def _schedule(args) -> int:
-    spec = RunSpec(
-        kind="schedule",
-        arch=ArchSpec(args.arch),
-        workload=WorkloadSpec(layers=(args.layer,), batch=args.batch),
-        scheduler=SchedulerSpec(args.scheduler),
-        platform=PlatformSpec(args.platform),
-        engine=_engine_spec(args),
-    )
+    if args.layer is None and args.fusion is None:
+        print("error: provide a layer or --fusion NAME", file=sys.stderr)
+        return 1
+    try:
+        spec = RunSpec(
+            kind="schedule",
+            arch=ArchSpec(args.arch),
+            workload=WorkloadSpec(
+                layers=(args.layer,) if args.layer is not None else (),
+                batch=args.batch,
+                fusion=args.fusion,
+                fusion_options=_parse_fusion_options(args.fusion_options),
+            ),
+            scheduler=SchedulerSpec(args.scheduler),
+            platform=PlatformSpec(args.platform),
+            engine=_engine_spec(args),
+        )
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
     return _execute(spec, args.json, save=args.save)
 
 
@@ -566,6 +624,22 @@ def _run_spec_file(args) -> int:
     spec = _load_spec_or_fail(args.spec)
     if spec is None:
         return 1
+    if args.fusion is not None or args.fusion_options:
+        import dataclasses
+
+        try:
+            options = _parse_fusion_options(args.fusion_options)
+            spec = dataclasses.replace(
+                spec,
+                workload=dataclasses.replace(
+                    spec.workload,
+                    fusion=args.fusion if args.fusion is not None else spec.workload.fusion,
+                    fusion_options=options or spec.workload.fusion_options,
+                ),
+            )
+        except ValueError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 1
     if args.follow:
         return _follow(spec)
     return _execute(spec, args.json)
@@ -826,8 +900,8 @@ def _store(args) -> int:
         warm = summary["warm_tier"]
         counters = summary["counters"]
         print(f"  warm tier: {warm['entries']}/{warm['capacity']} entries, "
-              f"{counters['warm_hits']} warm / {counters['disk_hits']} disk hits, "
-              f"{counters['misses']} misses")
+              f"{counters['warm_hits']} warm / {counters['disk_hits']} disk hits "
+              f"({counters['fused_hits']} fused), {counters['misses']} misses")
         return 0
     # gc: eviction (when bounded) then compaction, one report.
     evicted = store.gc(max_bytes=args.max_bytes, dry_run=args.dry_run)

@@ -144,11 +144,18 @@ class EngineStats:
 
 @dataclass
 class NetworkSchedule:
-    """Outcomes of one network run, in input-layer order."""
+    """Outcomes of one network run, in input-layer order.
+
+    ``groups`` is populated by the fused scheduling path only (one
+    :class:`~repro.fusion.schedule.GroupOutcome` per multi-operator fusion
+    group); per-operator runs leave it empty and their ``to_dict`` payload
+    is byte-identical to pre-fusion releases.
+    """
 
     label: str
     outcomes: list[ScheduleOutcome] = field(default_factory=list)
     stats: EngineStats = field(default_factory=EngineStats)
+    groups: list = field(default_factory=list)
 
     @property
     def mappings(self):
@@ -160,11 +167,14 @@ class NetworkSchedule:
         return sum(1 for outcome in self.outcomes if outcome.succeeded)
 
     def to_dict(self) -> dict:
-        return {
+        payload = {
             "label": self.label,
             "stats": self.stats.to_dict(),
             "outcomes": [outcome.to_dict() for outcome in self.outcomes],
         }
+        if self.groups:
+            payload["groups"] = [group.to_dict() for group in self.groups]
+        return payload
 
 
 @dataclass
@@ -333,6 +343,7 @@ class SchedulingEngine:
         executor: str = "thread",
         label: str = "",
         observer=None,
+        fusion=None,
     ) -> NetworkSchedule:
         """Schedule every layer of a network.
 
@@ -355,7 +366,29 @@ class SchedulingEngine:
             (the service layer turns these into ``layer_scheduled`` events).
             Observer exceptions propagate: a broken subscriber should fail
             the run loudly rather than silently drop events.
+        fusion:
+            Optional fusion plan: ``"auto"``, a
+            :class:`~repro.fusion.plan.FusionPlan` or a single
+            :class:`~repro.fusion.group.FusionGroup`.  When given, the run
+            is delegated to :func:`repro.fusion.schedule.schedule_fused_network`:
+            multi-operator groups are scheduled as units with their
+            intermediates pinned on-chip, and the returned schedule carries
+            one :class:`~repro.fusion.schedule.GroupOutcome` per group.
+            The fused path reports ``"solve"``/``"cache"`` layer sources
+            only (no ``"dedup"``).
         """
+        if fusion is not None:
+            from repro.fusion.schedule import schedule_fused_network
+
+            return schedule_fused_network(
+                self,
+                layers,
+                fusion,
+                jobs=jobs,
+                executor=executor,
+                label=label,
+                observer=observer,
+            )
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")
         if executor not in EXECUTORS:

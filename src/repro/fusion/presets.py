@@ -1,0 +1,134 @@
+"""Built-in fusion groups and group-aware transformer-block plans.
+
+Two canonical chains plus the fused variants of the transformer-block
+presets:
+
+* :func:`attention_block` — QK → softmax-scale → AV with both score-matrix
+  intermediates declared as fused edges (the FlashAttention-shaped win: the
+  S and P matrices never round-trip through DRAM).
+* :func:`conv_bn_relu` — convolution → fused batch-norm/ReLU; the conv's
+  output activations stay on-chip.  Legal despite the conv's sliding-window
+  *input* because the window sits on the upstream side of the edge.
+* :func:`bert_base_block_plan` / :func:`gpt2_small_block_plan` — the
+  nine-operator fused block (explicit softmax) partitioned into the fused
+  attention chain plus singletons for the projections and FFN matmuls.
+"""
+
+from __future__ import annotations
+
+from repro.fusion.group import FusionEdge, FusionGroup
+from repro.fusion.plan import FusionPlan
+from repro.workloads.networks import (
+    bert_base_block_fused_layers,
+    gpt2_small_block_fused_layers,
+)
+from repro.workloads.problem import attention_av, attention_qk, bn_relu, softmax
+
+#: M/N/H/B are shared verbatim between QK scores, softmax and AV input.
+_ATTENTION_DIM_MAP = (("M", "M"), ("N", "N"), ("H", "H"), ("B", "B"))
+
+
+def attention_block(
+    seq: int,
+    heads: int,
+    head_dim: int,
+    batch: int = 1,
+    kv_seq: int | None = None,
+    prefix: str = "attn",
+) -> FusionGroup:
+    """The fused attention chain QK → softmax-scale → AV."""
+    return FusionGroup(
+        name=f"{prefix}_block_{seq}x{kv_seq or seq}_h{heads}d{head_dim}",
+        layers=(
+            attention_qk(
+                seq=seq, heads=heads, head_dim=head_dim, batch=batch,
+                kv_seq=kv_seq, name=f"{prefix}_qk",
+            ),
+            softmax(
+                seq=seq, heads=heads, batch=batch, kv_seq=kv_seq,
+                name=f"{prefix}_softmax",
+            ),
+            attention_av(
+                seq=seq, heads=heads, head_dim=head_dim, batch=batch,
+                kv_seq=kv_seq, name=f"{prefix}_av",
+            ),
+        ),
+        edges=(
+            FusionEdge(producer=0, consumer=1, dim_map=_ATTENTION_DIM_MAP),
+            FusionEdge(producer=1, consumer=2, dim_map=_ATTENTION_DIM_MAP),
+        ),
+    )
+
+
+def conv_bn_relu(
+    r: int,
+    p: int,
+    c: int,
+    k: int,
+    stride: int = 1,
+    batch: int = 1,
+    prefix: str = "conv_bn",
+) -> FusionGroup:
+    """Square convolution followed by a fused batch-norm + ReLU."""
+    from repro.workloads.layer import conv_layer
+
+    conv = conv_layer(
+        r=r, p=p, c=c, k=k, stride=stride, n=batch, name=f"{prefix}_conv"
+    )
+    bn = bn_relu(p=p, k=k, n=batch, name=f"{prefix}_bn_relu")
+    return FusionGroup(
+        name=f"{prefix}_{r}_{p}_{c}_{k}_{stride}",
+        layers=(conv, bn),
+        edges=(
+            FusionEdge(
+                producer=0,
+                consumer=1,
+                dim_map=(("P", "P"), ("Q", "Q"), ("K", "K"), ("N", "N")),
+            ),
+        ),
+    )
+
+
+def _fused_block_plan(layers, seq: int, heads: int, prefix: str) -> FusionPlan:
+    """Partition a nine-operator fused block: attention chain + singletons.
+
+    The QK/softmax/AV triple (positions 3–5) becomes one fused group; the
+    Q/K/V projections, the output projection and the FFN matmuls stay
+    singletons (their neighbours are separated by residual adds and
+    activations in the real network, so the shape-legal chains are not
+    semantically fused here).
+    """
+    singles = lambda layer: FusionGroup(  # noqa: E731 - tiny local helper
+        name=layer.name or layer.canonical_name, layers=(layer,)
+    )
+    attention = FusionGroup(
+        name=f"{prefix}_attention_{seq}_h{heads}",
+        layers=tuple(layers[3:6]),
+        edges=(
+            FusionEdge(producer=0, consumer=1, dim_map=_ATTENTION_DIM_MAP),
+            FusionEdge(producer=1, consumer=2, dim_map=_ATTENTION_DIM_MAP),
+        ),
+    )
+    return FusionPlan(
+        groups=(
+            singles(layers[0]),
+            singles(layers[1]),
+            singles(layers[2]),
+            attention,
+            singles(layers[6]),
+            singles(layers[7]),
+            singles(layers[8]),
+        )
+    )
+
+
+def bert_base_block_plan(batch: int = 1, seq: int = 128) -> FusionPlan:
+    """Group-aware BERT-base block: fused attention chain + singleton matmuls."""
+    layers = bert_base_block_fused_layers(batch=batch, seq=seq)
+    return _fused_block_plan(layers, seq=seq, heads=12, prefix="bert_base")
+
+
+def gpt2_small_block_plan(batch: int = 1, seq: int = 1024) -> FusionPlan:
+    """Group-aware GPT-2-small block: fused attention chain + singleton matmuls."""
+    layers = gpt2_small_block_fused_layers(batch=batch, seq=seq)
+    return _fused_block_plan(layers, seq=seq, heads=12, prefix="gpt2_small")

@@ -249,3 +249,64 @@ class TrafficGenerator:
                     )
                 )
                 round_obj.dram_bytes += tile_bytes
+
+
+# -- Fused-transfer validation -------------------------------------------------
+
+def _dram_round_trip_words(analysis: NestAnalysis, tensor: TensorKind) -> float:
+    """Words of ``tensor`` crossing the DRAM boundary in this mapping."""
+    dram = analysis.hierarchy.dram_index
+    total = 0.0
+    for flow in analysis.boundary_flows:
+        if flow.tensor is tensor and flow.parent_level == dram:
+            total += flow.words_read_from_parent + flow.words_written_to_parent
+    return total
+
+
+def validate_fused_transfers(accelerator: Accelerator, group, mappings, cost) -> dict:
+    """Cross-check a fusion group's claimed inter-operator transfers.
+
+    For every edge of ``group``, the savings the buffer-sharing cost model
+    claims (``cost.edges``) are recomputed independently from the reuse
+    analysis of the final mappings:
+
+    * a **pinned** edge must have saved exactly the producer's OUTPUT plus
+      the consumer's INPUT DRAM round-trip words, and its on-chip handover
+      traffic is the consumer's NoC-boundary INPUT words (the hop traffic
+      the pinned tile still pays to reach the PEs);
+    * a **cut** (spilled) edge reports the DRAM round-trip words the
+      per-operator path pays.
+
+    Returns a JSON-compatible report with one entry per edge and an overall
+    ``consistent`` flag.
+    """
+    analyses = [NestAnalysis(mapping, accelerator) for mapping in mappings]
+    edge_costs = list(getattr(cost, "edges", []) or [])
+    report: dict = {"edges": [], "consistent": True}
+    for index, edge in enumerate(group.edges):
+        producer_words = _dram_round_trip_words(analyses[edge.producer], TensorKind.OUTPUT)
+        consumer_words = _dram_round_trip_words(analyses[edge.consumer], TensorKind.INPUT)
+        expected_saving = producer_words + consumer_words
+        edge_cost = edge_costs[index] if index < len(edge_costs) else None
+        pinned = bool(edge_cost is not None and edge_cost.pinned)
+        entry = {
+            "producer": edge.producer,
+            "consumer": edge.consumer,
+            "pinned": pinned,
+        }
+        if pinned:
+            claimed = edge_cost.saved_dram_words
+            tolerance = 1e-6 * max(1.0, expected_saving)
+            entry["claimed_saved_dram_words"] = claimed
+            entry["expected_saved_dram_words"] = expected_saving
+            entry["matches"] = abs(claimed - expected_saving) <= tolerance
+            # The pinned tile still crosses the PE-array boundary on-chip.
+            entry["on_chip_noc_words"] = analyses[edge.consumer].noc_boundary_words()[
+                TensorKind.INPUT
+            ]
+            if not entry["matches"]:
+                report["consistent"] = False
+        else:
+            entry["dram_round_trip_words"] = expected_saving
+        report["edges"].append(entry)
+    return report

@@ -16,7 +16,7 @@ callers can mutate-by-replacement without affecting the module tables.
 from __future__ import annotations
 
 from repro.workloads.layer import Layer, conv_layer
-from repro.workloads.problem import ProblemLayer, attention_av, attention_qk, matmul
+from repro.workloads.problem import ProblemLayer, attention_av, attention_qk, matmul, softmax
 
 #: ``R_P_C_K_Stride`` strings, in the order they appear on the paper's x-axes.
 ALEXNET_LAYER_STRINGS: tuple[str, ...] = (
@@ -190,6 +190,38 @@ def transformer_block_layers(
     ]
 
 
+def transformer_block_fused_layers(
+    seq: int,
+    hidden: int,
+    heads: int,
+    ffn: int,
+    batch: int = 1,
+    prefix: str = "block",
+) -> list[ProblemLayer]:
+    """The fusion-aware transformer block: nine operators with explicit softmax.
+
+    Identical to :func:`transformer_block_layers` except the softmax between
+    the two attention contractions is a first-class operator, so the
+    QK → softmax → AV chain can be declared (and scheduled) as one
+    :class:`~repro.fusion.group.FusionGroup` with both intermediates pinned
+    on-chip instead of round-tripping through DRAM.
+    """
+    if hidden % heads != 0:
+        raise ValueError(f"hidden size {hidden} is not divisible by {heads} heads")
+    head_dim = hidden // heads
+    return [
+        matmul(m=seq, n=hidden, k=hidden, batch=batch, name=f"{prefix}_q_proj"),
+        matmul(m=seq, n=hidden, k=hidden, batch=batch, name=f"{prefix}_k_proj"),
+        matmul(m=seq, n=hidden, k=hidden, batch=batch, name=f"{prefix}_v_proj"),
+        attention_qk(seq=seq, heads=heads, head_dim=head_dim, batch=batch, name=f"{prefix}_attn_qk"),
+        softmax(seq=seq, heads=heads, batch=batch, name=f"{prefix}_softmax"),
+        attention_av(seq=seq, heads=heads, head_dim=head_dim, batch=batch, name=f"{prefix}_attn_av"),
+        matmul(m=seq, n=hidden, k=hidden, batch=batch, name=f"{prefix}_out_proj"),
+        matmul(m=seq, n=ffn, k=hidden, batch=batch, name=f"{prefix}_ffn_up"),
+        matmul(m=seq, n=hidden, k=ffn, batch=batch, name=f"{prefix}_ffn_down"),
+    ]
+
+
 def bert_base_block_layers(batch: int = 1, seq: int = 128) -> list[ProblemLayer]:
     """One BERT-base encoder block (hidden 768, 12 heads, FFN 3072, seq 128)."""
     return transformer_block_layers(
@@ -200,6 +232,20 @@ def bert_base_block_layers(batch: int = 1, seq: int = 128) -> list[ProblemLayer]
 def gpt2_small_block_layers(batch: int = 1, seq: int = 1024) -> list[ProblemLayer]:
     """One GPT-2-small decoder block (hidden 768, 12 heads, FFN 3072, seq 1024)."""
     return transformer_block_layers(
+        seq=seq, hidden=768, heads=12, ffn=3072, batch=batch, prefix="gpt2_small"
+    )
+
+
+def bert_base_block_fused_layers(batch: int = 1, seq: int = 128) -> list[ProblemLayer]:
+    """The fusion-aware BERT-base block (explicit softmax, nine operators)."""
+    return transformer_block_fused_layers(
+        seq=seq, hidden=768, heads=12, ffn=3072, batch=batch, prefix="bert_base"
+    )
+
+
+def gpt2_small_block_fused_layers(batch: int = 1, seq: int = 1024) -> list[ProblemLayer]:
+    """The fusion-aware GPT-2-small block (explicit softmax, nine operators)."""
+    return transformer_block_fused_layers(
         seq=seq, hidden=768, heads=12, ffn=3072, batch=batch, prefix="gpt2_small"
     )
 

@@ -53,11 +53,15 @@ __all__ = [
     "GROUPED_CONV",
     "ATTENTION_QK",
     "ATTENTION_AV",
+    "SOFTMAX",
+    "BN_RELU",
     "matmul",
     "depthwise_conv",
     "grouped_conv",
     "attention_qk",
     "attention_av",
+    "softmax",
+    "bn_relu",
     "register_problem",
     "get_problem",
     "available_problems",
@@ -394,6 +398,32 @@ ATTENTION_AV = TensorProblem(
     ),
 )
 
+#: Softmax-scale over attention scores ``P[B, H, M, N] = softmax_N(S[B, H, M, N])``.
+#: Modelled as one op per element with a per-row statistics operand (running
+#: max / normalizer, one entry per (M, H, B) row) in the weight-like slot, so
+#: the three-tensor memory binding of the hierarchy applies unchanged.
+SOFTMAX = TensorProblem(
+    name="softmax",
+    dims=("M", "N", "H", "B"),
+    projections=(
+        ("M", "H", "B"),         # weight-like operand: per-row max/sum statistics
+        ("M", "N", "H", "B"),    # input: score matrix S
+        ("M", "N", "H", "B"),    # output: probability matrix P
+    ),
+)
+
+#: Fused batch-norm + ReLU ``O[N, K, P, Q] = relu(scale[K] * I[N, K, P, Q] + shift[K])``.
+#: The per-channel scale/shift pair is the weight-like operand.
+BN_RELU = TensorProblem(
+    name="bn-relu",
+    dims=("P", "Q", "K", "N"),
+    projections=(
+        ("K",),                  # weight-like operand: per-channel scale/shift
+        ("P", "Q", "K", "N"),    # input activations
+        ("P", "Q", "K", "N"),    # output activations
+    ),
+)
+
 
 # --------------------------------------------------------------------------- registry
 _PROBLEMS: dict[str, TensorProblem] = {}
@@ -427,7 +457,16 @@ def available_problems() -> tuple[str, ...]:
     return tuple(sorted(_PROBLEMS))
 
 
-for _problem in (CONV7, MATMUL, DEPTHWISE_CONV, GROUPED_CONV, ATTENTION_QK, ATTENTION_AV):
+for _problem in (
+    CONV7,
+    MATMUL,
+    DEPTHWISE_CONV,
+    GROUPED_CONV,
+    ATTENTION_QK,
+    ATTENTION_AV,
+    SOFTMAX,
+    BN_RELU,
+):
     register_problem(_problem)
 
 
@@ -490,4 +529,22 @@ def attention_av(
     return ATTENTION_AV.layer(
         {"M": seq, "N": kv_seq or seq, "E": head_dim, "H": heads, "B": batch},
         name=name or f"attn_av_{seq}x{kv_seq or seq}_h{heads}d{head_dim}",
+    )
+
+
+def softmax(
+    seq: int, heads: int, batch: int = 1, kv_seq: int | None = None, name: str = ""
+) -> ProblemLayer:
+    """Softmax-scale over the attention score matrix, one op per element."""
+    return SOFTMAX.layer(
+        {"M": seq, "N": kv_seq or seq, "H": heads, "B": batch},
+        name=name or f"softmax_{seq}x{kv_seq or seq}_h{heads}",
+    )
+
+
+def bn_relu(p: int, k: int, n: int = 1, q: int | None = None, name: str = "") -> ProblemLayer:
+    """Fused batch-norm + ReLU over a ``[N, K, P, Q]`` activation tensor."""
+    return BN_RELU.layer(
+        {"P": p, "Q": q or p, "K": k, "N": n},
+        name=name or f"bn_relu_{p}x{q or p}_k{k}",
     )
