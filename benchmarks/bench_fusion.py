@@ -14,6 +14,15 @@ so the fusion savings are tracked across PRs::
     python benchmarks/bench_fusion.py --quick    # bert block only
     python benchmarks/bench_fusion.py --check    # exit 1 unless every fused
                                                  # group strictly beats unfused
+    python benchmarks/bench_fusion.py --check-fused 8
+                                                 # also time batched/compiled
+                                                 # fused evaluation and exit 1
+                                                 # below an 8x geomean floor
+
+``--check-fused`` (and plain runs, which time but do not gate) appends the
+``repro bench fusion`` throughput report under the ``fused_eval`` key of
+``BENCH_fusion.json``: scalar vs batched vs compiled fused-group evaluation
+over identical candidates, with the same bitwise parity audits.
 """
 
 from __future__ import annotations
@@ -151,6 +160,14 @@ def main(argv=None) -> int:
         "--check", action="store_true",
         help="exit 1 unless every block fuses and strictly lowers DRAM traffic",
     )
+    parser.add_argument(
+        "--check-fused", type=float, default=None, metavar="FLOOR",
+        help="exit 1 unless the batched fused-eval geomean speedup reaches FLOOR",
+    )
+    parser.add_argument(
+        "--fused-samples", type=int, default=128,
+        help="candidate group tilings per group in the fused-eval timing",
+    )
     args = parser.parse_args(argv)
 
     arch = architectures.create(args.arch)
@@ -169,10 +186,38 @@ def main(argv=None) -> int:
         "quick": args.quick,
         "blocks": blocks,
     }
+
+    fused_failures: list[str] = []
+    from repro.model import HAVE_NUMPY
+
+    if HAVE_NUMPY:
+        from repro.benchmarking import (
+            check_fused_report,
+            fused_bench_report,
+            fusion_bench_groups,
+            render_fused_row,
+            render_fused_summary,
+        )
+
+        print()
+        fused_eval = fused_bench_report(
+            fusion_bench_groups(quick=args.quick),
+            args.fused_samples,
+            seed=0,
+            arch=arch,
+            quick=args.quick,
+            progress=lambda row: print(render_fused_row(row)),
+        )
+        print(render_fused_summary(fused_eval))
+        report["fused_eval"] = fused_eval
+        fused_failures = check_fused_report(fused_eval, check=args.check_fused)
+    elif args.check_fused is not None:
+        fused_failures = ["--check-fused requires numpy (no batched fused path)"]
+
     atomic_write_json(args.out, report)
     print(f"\nreport written to {args.out}")
 
-    failures = check_report(report) if args.check else []
+    failures = (check_report(report) if args.check else []) + fused_failures
     for failure in failures:
         print(failure, file=sys.stderr)
     return 1 if failures else 0

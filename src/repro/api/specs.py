@@ -331,7 +331,17 @@ class EngineSpec:
     backends are bit-identical, so the knob is execution-only — it is
     omitted from serialized specs when unset, keeping legacy spec files and
     their fingerprints byte-identical.
+
+    ``fusion_options`` tunes the fused alignment search (currently only
+    ``max_candidates``, the frontier-candidate cap — distinct from
+    ``WorkloadSpec.fusion_options``, which carries a fusion group factory's
+    *workload* options).  It is execution-only like ``kernel_backend``:
+    omitted from serialized specs when empty and excluded from store
+    fingerprints (:data:`repro.api.store.EXECUTION_ONLY_ENGINE_KEYS`).
     """
+
+    #: Recognised ``fusion_options`` keys.
+    FUSION_OPTION_KEYS = ("max_candidates",)
 
     jobs: int = 1
     cache: str | None = None
@@ -339,6 +349,7 @@ class EngineSpec:
     time_budget: float | None = None
     executor: str = "thread"
     kernel_backend: str | None = None
+    fusion_options: dict = field(default_factory=dict)
 
     def __post_init__(self) -> None:
         _check_int(self.jobs, "EngineSpec.jobs", minimum=1)
@@ -360,6 +371,16 @@ class EngineSpec:
                 f"EngineSpec.kernel_backend must be one of {KERNEL_BACKENDS}, "
                 f"got {self.kernel_backend!r}",
             )
+        _require_keys(
+            self.fusion_options, self.FUSION_OPTION_KEYS, "EngineSpec.fusion_options"
+        )
+        if "max_candidates" in self.fusion_options:
+            _check_int(
+                self.fusion_options["max_candidates"],
+                "EngineSpec.fusion_options['max_candidates']",
+                minimum=1,
+            )
+        object.__setattr__(self, "fusion_options", dict(self.fusion_options))
 
     def to_dict(self) -> dict:
         data = {
@@ -371,13 +392,23 @@ class EngineSpec:
         }
         if self.kernel_backend is not None:
             data["kernel_backend"] = self.kernel_backend
+        if self.fusion_options:
+            data["fusion_options"] = dict(self.fusion_options)
         return data
 
     @classmethod
     def from_dict(cls, data) -> "EngineSpec":
         _require_keys(
             data,
-            ("jobs", "cache", "batch_size", "time_budget", "executor", "kernel_backend"),
+            (
+                "jobs",
+                "cache",
+                "batch_size",
+                "time_budget",
+                "executor",
+                "kernel_backend",
+                "fusion_options",
+            ),
             "EngineSpec",
         )
         return cls(
@@ -387,6 +418,7 @@ class EngineSpec:
             time_budget=data.get("time_budget"),
             executor=data.get("executor", "thread"),
             kernel_backend=data.get("kernel_backend"),
+            fusion_options=dict(data.get("fusion_options") or {}),
         )
 
 

@@ -48,6 +48,14 @@ QUICK_LAYERS = (
 #: Workload presets accepted by ``repro bench`` / ``preset_layers``.
 PRESETS = ("quick", "resnet50", "transformer")
 
+#: The fused-group throughput preset (``repro bench fusion``) — benchmarks
+#: group-tiling evaluation rather than per-layer mapping evaluation, so it
+#: lives beside :data:`PRESETS` instead of inside ``preset_layers``.
+FUSION_PRESET = "fusion"
+
+#: Every preset name the bench CLI accepts.
+ALL_PRESETS = PRESETS + (FUSION_PRESET,)
+
 #: Tolerance of the scalar-vs-batched parity audit (compiled and delta are
 #: compared exactly, not against this).
 PARITY_TOLERANCE = 1e-9
@@ -344,5 +352,233 @@ def check_report(report: dict, check=None, check_compiled=None, check_delta=None
         failures.append(
             "delta speedup check failed: geomean "
             f"{report['geomean_delta_speedup']:.1f}x < {check_delta}x"
+        )
+    return failures
+
+
+# ---------------------------------------------------------------------------
+# Fused-group evaluation throughput (``repro bench fusion``)
+# ---------------------------------------------------------------------------
+
+def fusion_bench_groups(quick: bool = False) -> list:
+    """The fused groups benchmarked by the ``fusion`` preset.
+
+    Both canonical chains plus the multi-operator attention group of each
+    transformer-block preset (at a reduced sequence length so the scalar
+    reference pass stays CI-sized).  ``quick`` keeps only the two canonical
+    chains.
+    """
+    from repro.fusion.presets import (
+        attention_block,
+        bert_base_block_plan,
+        conv_bn_relu,
+        gpt2_small_block_plan,
+    )
+
+    groups = [
+        attention_block(seq=64, heads=4, head_dim=32, prefix="bench_attn"),
+        conv_bn_relu(r=3, p=14, c=32, k=32, prefix="bench_conv_bn"),
+    ]
+    if not quick:
+        for plan in (bert_base_block_plan(seq=64), gpt2_small_block_plan(seq=64)):
+            groups.extend(g for g in plan.groups if len(g.layers) > 1)
+    return groups
+
+
+#: ``BatchFusedResult`` arrays compared bit-for-bit between the batched and
+#: the compiled fused path (everything except the ``per_op`` object list).
+_FUSED_RESULT_FIELDS = (
+    "valid", "latency", "energy", "dram_words", "dram_bytes",
+    "unfused_latency", "unfused_energy", "unfused_dram_words",
+    "unfused_dram_bytes", "pipeline_rounds", "num_pinned_edges",
+    "edge_pinned", "edge_rounds", "edge_aligned", "edge_pinned_bytes",
+    "edge_saved_dram_words", "edge_saved_dram_bytes", "edge_saved_energy_pj",
+)
+
+
+def bench_fused_group(arch, group, samples: int, seed: int) -> dict:
+    """Time the three fused-evaluation pipelines over identical candidates.
+
+    Per group: draw ``samples`` random tilings of every operator (candidate
+    ``b`` is row ``b`` of each operator's draws), then price all candidates
+    through the scalar :class:`~repro.model.fused.FusedCostModel` loop (the
+    oracle), one :class:`~repro.model.fused_batch.BatchFusedCostModel` pass,
+    and one :func:`~repro.model.kernels.compile_fused` kernel pass.  Packing
+    (``FusedMappingBatch.from_candidates``) is shared by both fast paths and
+    timed separately as ``pack_seconds``.  Scalar-vs-batched parity is
+    audited per candidate, compiled-vs-batched bitwise over every array.
+    """
+    import numpy as np
+
+    from repro.model.fused import FusedCostModel
+    from repro.model.fused_batch import BatchFusedCostModel, FusedMappingBatch
+    from repro.model.kernels import compile_fused, kernel_cache_info
+
+    rng = random.Random(seed)
+    per_op_draws = [
+        MapSpace(layer, arch).sample_batch(samples, rng) for layer in group.layers
+    ]
+    candidates = [
+        [draws.materialize(i) for draws in per_op_draws] for i in range(samples)
+    ]
+
+    scalar_model = FusedCostModel(arch)
+    start = time.perf_counter()
+    scalar_results = [scalar_model.evaluate_group(group, c) for c in candidates]
+    scalar_seconds = time.perf_counter() - start
+
+    start = time.perf_counter()
+    fused_batch = FusedMappingBatch.from_candidates(group, candidates)
+    pack_seconds = time.perf_counter() - start
+
+    batch_model = BatchFusedCostModel(arch)
+    start = time.perf_counter()
+    batch_result = batch_model.evaluate_group(fused_batch)
+    batched_seconds = time.perf_counter() - start
+
+    misses_before = kernel_cache_info()["fused_misses"]
+    kernel = compile_fused(group, arch)
+    build_seconds = (
+        kernel.build_seconds
+        if kernel_cache_info()["fused_misses"] > misses_before
+        else 0.0
+    )
+    start = time.perf_counter()
+    compiled_result = kernel.evaluate_group(fused_batch)
+    compiled_seconds = time.perf_counter() - start
+
+    max_rel = 0.0
+    mismatches = 0
+    for i, cost in enumerate(scalar_results):
+        if cost.valid != bool(batch_result.valid[i]):
+            mismatches += 1
+            continue
+        if cost.valid:
+            for s, b in (
+                (cost.latency, batch_result.latency[i]),
+                (cost.energy, batch_result.energy[i]),
+                (cost.dram_words, batch_result.dram_words[i]),
+                (cost.dram_bytes, batch_result.dram_bytes[i]),
+            ):
+                rel = abs(s - b) / abs(s) if s else 0.0
+                max_rel = max(max_rel, rel)
+    compiled_exact = all(
+        np.array_equal(getattr(compiled_result, name), getattr(batch_result, name))
+        for name in _FUSED_RESULT_FIELDS
+    )
+
+    return {
+        "group": group.name,
+        "num_ops": len(group.layers),
+        "num_edges": len(group.edges),
+        "samples": samples,
+        "num_valid": int(np.count_nonzero(batch_result.valid)),
+        "scalar_groups_per_sec": samples / scalar_seconds,
+        "batched_groups_per_sec": samples / batched_seconds,
+        "compiled_groups_per_sec": samples / compiled_seconds,
+        "fused_speedup": scalar_seconds / batched_seconds,
+        "compiled_fused_speedup": scalar_seconds / compiled_seconds,
+        "pack_seconds": pack_seconds,
+        "fused_build_seconds": build_seconds,
+        "fused_backend": kernel.effective_backend,
+        "validity_mismatches": mismatches,
+        "max_rel_diff": max_rel,
+        "compiled_exact": compiled_exact,
+    }
+
+
+def fused_bench_report(
+    groups,
+    samples: int,
+    seed: int,
+    arch=None,
+    label: str = "fusion-presets",
+    quick: bool = False,
+    progress=None,
+) -> dict:
+    """Benchmark every fused group and aggregate the cross-group summary."""
+    if not HAVE_NUMPY:
+        raise RuntimeError("numpy unavailable: the batched fused evaluator has no fast path here")
+    arch = arch or simba_like()
+    rows = []
+    for group in groups:
+        row = bench_fused_group(arch, group, samples, seed)
+        rows.append(row)
+        if progress is not None:
+            progress(row)
+
+    speedups = [row["fused_speedup"] for row in rows]
+    compiled = [row["compiled_fused_speedup"] for row in rows]
+    return {
+        "benchmark": "batched-fused-group-evaluation",
+        "network": label,
+        "arch": arch.name,
+        "quick": quick,
+        "samples_per_group": samples,
+        "seed": seed,
+        "groups": rows,
+        "geomean_fused_speedup": _geomean(speedups),
+        "min_fused_speedup": min(speedups),
+        "max_fused_speedup": max(speedups),
+        "geomean_compiled_fused_speedup": _geomean(compiled),
+        "min_compiled_fused_speedup": min(compiled),
+        "max_compiled_fused_speedup": max(compiled),
+        "fused_build_seconds_total": sum(row["fused_build_seconds"] for row in rows),
+        "total_validity_mismatches": sum(r["validity_mismatches"] for r in rows),
+        "compiled_exact": all(r["compiled_exact"] for r in rows),
+        "max_rel_diff": max(r["max_rel_diff"] for r in rows),
+    }
+
+
+def render_fused_row(row: dict) -> str:
+    """One fixed-width table line per benchmarked fused group."""
+    return (
+        f"{row['group']:<32} scalar {row['scalar_groups_per_sec']:>8.0f}/s   "
+        f"batched {row['batched_groups_per_sec']:>9.0f}/s ({row['fused_speedup']:5.1f}x)   "
+        f"compiled {row['compiled_groups_per_sec']:>9.0f}/s ({row['compiled_fused_speedup']:5.1f}x)   "
+        f"valid {row['num_valid']}/{row['samples']}"
+    )
+
+
+def render_fused_summary(report: dict) -> str:
+    """The cross-group summary block printed after the fusion table."""
+    return (
+        f"geomean fused-eval speedup over scalar: batched "
+        f"{report['geomean_fused_speedup']:.1f}x, compiled "
+        f"{report['geomean_compiled_fused_speedup']:.1f}x "
+        f"(build {report['fused_build_seconds_total'] * 1e3:.1f} ms total) "
+        f"over {len(report['groups'])} groups"
+    )
+
+
+def check_fused_report(report: dict, check=None, check_compiled=None) -> list[str]:
+    """Validate a fused-eval report; returns human-readable failure strings.
+
+    Parity failures are always fatal; the optional floors gate the batched
+    and compiled fused-eval geomean speedups.
+    """
+    failures = []
+    if report["total_validity_mismatches"]:
+        failures.append(
+            "PARITY FAILURE: batched fused validity disagrees with the scalar oracle"
+        )
+    if report["max_rel_diff"] > PARITY_TOLERANCE:
+        failures.append(
+            f"PARITY FAILURE: max relative difference {report['max_rel_diff']:.2e} "
+            f"exceeds the {PARITY_TOLERANCE:.0e} tolerance"
+        )
+    if not report["compiled_exact"]:
+        failures.append(
+            "PARITY FAILURE: compiled fused results differ from the batched combiner"
+        )
+    if check is not None and report["geomean_fused_speedup"] < check:
+        failures.append(
+            "fused speedup check failed: geomean "
+            f"{report['geomean_fused_speedup']:.1f}x < {check}x"
+        )
+    if check_compiled is not None and report["geomean_compiled_fused_speedup"] < check_compiled:
+        failures.append(
+            "compiled fused speedup check failed: geomean "
+            f"{report['geomean_compiled_fused_speedup']:.1f}x < {check_compiled}x"
         )
     return failures

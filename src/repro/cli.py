@@ -283,11 +283,12 @@ def _build_parser() -> argparse.ArgumentParser:
     bench = sub.add_parser(
         "bench", help="benchmark mapping-evaluation throughput on a workload preset"
     )
-    from repro.benchmarking import PRESETS
+    from repro.benchmarking import ALL_PRESETS
 
     bench.add_argument(
-        "preset", nargs="?", default="quick", choices=sorted(PRESETS),
-        help="workload preset to benchmark (default: quick)",
+        "preset", nargs="?", default="quick", choices=sorted(ALL_PRESETS),
+        help="workload preset to benchmark (default: quick; "
+        "'fusion' times fused-group evaluation instead of per-layer mapping evaluation)",
     )
     bench.add_argument("--arch", default="baseline-4x4", choices=sorted(architectures.available()))
     bench.add_argument("--samples", type=_positive_int, default=256, help="candidates per layer")
@@ -943,24 +944,41 @@ def _registry(args) -> int:
 
 def _bench(args) -> int:
     from repro.benchmarking import (
+        FUSION_PRESET,
         bench_report,
+        check_fused_report,
         check_report,
+        fused_bench_report,
+        fusion_bench_groups,
         preset_layers,
+        render_fused_row,
+        render_fused_summary,
         render_row,
         render_summary,
     )
     from repro.io_utils import atomic_write_json
 
+    fusion = args.preset == FUSION_PRESET
     try:
-        report = bench_report(
-            preset_layers(args.preset),
-            args.samples,
-            args.seed,
-            arch=architectures.create(args.arch),
-            num_moves=args.moves,
-            label=args.preset,
-            progress=None if args.json else (lambda row: print(render_row(row))),
-        )
+        if fusion:
+            report = fused_bench_report(
+                fusion_bench_groups(),
+                args.samples,
+                args.seed,
+                arch=architectures.create(args.arch),
+                label=args.preset,
+                progress=None if args.json else (lambda row: print(render_fused_row(row))),
+            )
+        else:
+            report = bench_report(
+                preset_layers(args.preset),
+                args.samples,
+                args.seed,
+                arch=architectures.create(args.arch),
+                num_moves=args.moves,
+                label=args.preset,
+                progress=None if args.json else (lambda row: print(render_row(row))),
+            )
     except RuntimeError as error:  # no numpy: nothing to measure
         print(f"error: {error}", file=sys.stderr)
         return 1
@@ -969,10 +987,11 @@ def _bench(args) -> int:
     if args.json:
         print(json.dumps(report, indent=2))
     else:
-        print(f"\n{render_summary(report)}")
+        summary = render_fused_summary(report) if fusion else render_summary(report)
+        print(f"\n{summary}")
         if args.out:
             print(f"report written to {args.out}")
-    failures = check_report(report)
+    failures = check_fused_report(report) if fusion else check_report(report)
     for failure in failures:
         print(failure, file=sys.stderr)
     return 1 if failures else 0

@@ -344,6 +344,7 @@ class SchedulingEngine:
         label: str = "",
         observer=None,
         fusion=None,
+        fusion_options=None,
     ) -> NetworkSchedule:
         """Schedule every layer of a network.
 
@@ -376,6 +377,10 @@ class SchedulingEngine:
             one :class:`~repro.fusion.schedule.GroupOutcome` per group.
             The fused path reports ``"solve"``/``"cache"`` layer sources
             only (no ``"dedup"``).
+        fusion_options:
+            Optional alignment-search knobs for the fused path (currently
+            ``max_candidates``, the frontier-candidate cap).  Execution-only:
+            never part of cache keys or result fingerprints.
         """
         if fusion is not None:
             from repro.fusion.schedule import schedule_fused_network
@@ -388,6 +393,7 @@ class SchedulingEngine:
                 executor=executor,
                 label=label,
                 observer=observer,
+                fusion_options=fusion_options,
             )
         if jobs < 1:
             raise ValueError(f"jobs must be >= 1, got {jobs}")

@@ -11,9 +11,11 @@ group is scheduled *as one unit*:
 2. **Shared outer tiling** — the contracted dimensions of every fused edge
    are re-tiled to a common DRAM-level factor (the *round* count) so
    producer and consumer stream the intermediate tile-by-tile.  The search
-   walks the divisors of the shared temporal bound upward until every edge
-   pins: larger round counts shrink the pinned tiles, trading buffer
-   pressure for pipeline depth.
+   enumerates the whole divisor *frontier* (every per-class outer-target
+   combination, capped by ``fusion_options["max_candidates"]``), re-tiles
+   the candidates, prices them in **one batched/compiled fused evaluation**
+   (:mod:`repro.model.fused_batch` / ``compile_fused``), and keeps the
+   fully-pinned candidate with the lowest DRAM traffic (EDP breaks ties).
 3. **Group cache** — retiled outcomes are stored under per-group cache keys
    (the plain key extended with the group fingerprint and the operator's
    position), so re-running a fused network hits the cache without
@@ -31,6 +33,7 @@ different (group-aligned) mappings.
 from __future__ import annotations
 
 import dataclasses
+import itertools
 import time
 from dataclasses import dataclass, field
 from math import gcd
@@ -41,9 +44,13 @@ from repro.fusion.group import FusionGroup
 from repro.fusion.plan import FusionPlan, plan_for
 from repro.model.fused import FusedCostModel, FusedGroupCost
 
-#: Cap on alignment-search iterations per group (each step multiplies one
-#: shared outer factor by a prime, so real searches finish in a handful).
-MAX_ALIGNMENT_STEPS = 64
+#: Default cap on frontier candidates priced per group alignment (override
+#: with ``fusion_options={"max_candidates": ...}``).
+DEFAULT_MAX_CANDIDATES = 256
+
+#: Cap on the raw divisor cross-product before per-class down-sampling kicks
+#: in (a backstop against pathological highly-composite bounds).
+_FRONTIER_ENUM_CAP = 65536
 
 
 @dataclass
@@ -203,23 +210,135 @@ class _SharedDims:
         return [by_root[root] for root in sorted(by_root)]
 
 
-def _align_group(engine, group: FusionGroup, base_mappings, fused_model: FusedCostModel):
-    """Search shared outer tilings until every edge of ``group`` pins.
+def _frontier_combos(caps, starts, max_candidates: int) -> list[tuple[int, ...]]:
+    """Outer-target combinations on the divisor frontier, deterministically.
 
-    Returns ``(mappings, cost, retiled)``: the final per-operator mappings
-    (the originals when no alignment pinned everything), the group cost
-    under those mappings, and whether any operator was re-tiled.
+    Per class, the frontier is every divisor of the class cap at or above
+    the start point.  The cross product is down-sampled (longest class
+    first, even stride keeping the endpoints) until it fits
+    :data:`_FRONTIER_ENUM_CAP`, then — sorted by total round count — thinned
+    to ``max_candidates`` evenly spaced combos including the first and last.
     """
+    per_class: list[list[int]] = []
+    for cap, start in zip(caps, starts):
+        divisors = [d for d in _divisors(cap) if d >= start]
+        per_class.append(divisors or [cap])
+
+    def cross_size() -> int:
+        size = 1
+        for values in per_class:
+            size *= len(values)
+        return size
+
+    while cross_size() > _FRONTIER_ENUM_CAP:
+        longest = max(range(len(per_class)), key=lambda i: len(per_class[i]))
+        values = per_class[longest]
+        sampled = values[::2]
+        if sampled[-1] != values[-1]:
+            sampled.append(values[-1])
+        per_class[longest] = sampled
+
+    combos = list(itertools.product(*per_class))
+
+    def rounds(combo) -> int:
+        size = 1
+        for value in combo:
+            size *= value
+        return size
+
+    combos.sort(key=lambda combo: (rounds(combo), combo))
+    if len(combos) > max_candidates:
+        if max_candidates == 1:
+            combos = combos[:1]
+        else:
+            step = (len(combos) - 1) / (max_candidates - 1)
+            picked = []
+            seen: set[int] = set()
+            for i in range(max_candidates):
+                index = round(i * step)
+                if index not in seen:
+                    seen.add(index)
+                    picked.append(combos[index])
+            combos = picked
+    return combos
+
+
+def _select_candidate(engine, group: FusionGroup, candidates, fused_model: FusedCostModel):
+    """Index of the best fully-pinned candidate, or ``None``.
+
+    Every candidate group tiling is priced in **one** fused evaluation —
+    compiled when a kernel backend is in play, plain batched otherwise, and
+    a memoized scalar loop on numpy-less installs (all three agree
+    bit-for-bit, so the choice never changes the winner).  Candidates are
+    ranked by ``(dram_words, edp, index)``.
+    """
+    from repro.model.batch import HAVE_NUMPY
+
+    num_edges = len(group.edges)
+    best_index = None
+    best_key = None
+    if HAVE_NUMPY:
+        from repro.model.fused_batch import BatchFusedCostModel, FusedMappingBatch
+        from repro.model.kernels import compile_fused, resolve_backend
+
+        accelerator = engine.scheduler.accelerator
+        fused_batch = FusedMappingBatch.from_candidates(group, candidates)
+        backend = getattr(engine, "kernel_backend", None)
+        if resolve_backend(backend) == "off":
+            result = BatchFusedCostModel(accelerator).evaluate_group(fused_batch)
+        else:
+            result = compile_fused(group, accelerator, backend=backend).evaluate_group(
+                fused_batch
+            )
+        eligible = result.valid & result.all_pinned
+        words, edp = result.dram_words, result.edp
+        for index in range(len(candidates)):
+            if not eligible[index]:
+                continue
+            key = (float(words[index]), float(edp[index]))
+            if best_key is None or key < best_key:
+                best_key, best_index = key, index
+        return best_index
+
+    for index, candidate in enumerate(candidates):
+        cost = fused_model.evaluate_group(group, candidate)
+        if not (cost.valid and cost.num_pinned_edges == num_edges):
+            continue
+        key = (cost.dram_words, cost.edp)
+        if best_key is None or key < best_key:
+            best_key, best_index = key, index
+    return best_index
+
+
+def _align_group(
+    engine,
+    group: FusionGroup,
+    base_mappings,
+    fused_model: FusedCostModel,
+    options=None,
+):
+    """Batched frontier search for the shared outer tiling of ``group``.
+
+    Enumerates the divisor frontier of every shared-dimension class (capped
+    by ``options["max_candidates"]``), re-tiles each combination, prices
+    all of them in one batched fused evaluation, and keeps the fully-pinned
+    candidate with the lowest DRAM traffic.  Returns ``(mappings, cost,
+    retiled)``: the final per-operator mappings (the originals when no
+    candidate pinned everything), the group cost under those mappings, and
+    whether any operator was re-tiled.
+    """
+    options = dict(options or {})
+    max_candidates = max(int(options.get("max_candidates", DEFAULT_MAX_CANDIDATES)), 1)
     dram = base_mappings[0].num_levels - 1
     shared = _SharedDims(group)
     classes = shared.classes()
 
     # Per class: the gcd of the members' total temporal bounds caps the
-    # shared outer factor; start from the largest DRAM factor any member
-    # already has (rounded up to a divisor) to disturb the solved mappings
-    # as little as possible.
+    # shared outer factor; the frontier starts at the largest DRAM factor
+    # any member already has (rounded up to a divisor), so the base point
+    # and every greedy walk's step are members of the candidate set.
     caps: list[int] = []
-    outers: list[int] = []
+    starts: list[int] = []
     for members in classes:
         totals = [
             base_mappings[op].dim_product(dim, include_spatial=False)
@@ -235,44 +354,48 @@ def _align_group(engine, group: FusionGroup, base_mappings, fused_model: FusedCo
         )
         start = next((d for d in _divisors(cap) if d >= current), cap)
         caps.append(cap)
-        outers.append(start)
+        starts.append(start)
 
     best = (list(base_mappings), fused_model.evaluate_group(group, base_mappings), False)
     if best[1].valid and best[1].num_pinned_edges == len(group.edges):
         return best
 
-    for _ in range(MAX_ALIGNMENT_STEPS):
+    # Re-tile the whole frontier (deduping identical per-operator targets —
+    # many combos disturb only one class, so most operators are shared).
+    retile_memo: dict[tuple[int, tuple], object] = {}
+    candidates: list[list] = []
+    for combo in _frontier_combos(caps, starts, max_candidates):
         targets_per_op: list[dict[str, int]] = [{} for _ in group.layers]
-        for members, outer in zip(classes, outers):
+        for members, outer in zip(classes, combo):
             for op, dim in members:
                 targets_per_op[op][dim] = outer
         mappings = []
-        feasible = True
         for op, targets in enumerate(targets_per_op):
             if not targets:
                 mappings.append(base_mappings[op])
                 continue
-            retiled = _retile_outer(base_mappings[op], targets)
+            memo_key = (op, tuple(sorted(targets.items())))
+            if memo_key not in retile_memo:
+                retile_memo[memo_key] = _retile_outer(base_mappings[op], targets)
+            retiled = retile_memo[memo_key]
             if retiled is None:
-                feasible = False
+                mappings = None
                 break
             mappings.append(retiled)
-        if feasible:
-            cost = fused_model.evaluate_group(group, mappings)
-            if cost.valid and cost.num_pinned_edges == len(group.edges):
-                return mappings, cost, True
+        if mappings is not None:
+            candidates.append(mappings)
+    if not candidates:
+        return best
 
-        # Tighten: bump the first class that still has divisor headroom.
-        # Larger shared factors mean more rounds and smaller pinned tiles.
-        bumped = False
-        for index, (cap, outer) in enumerate(zip(caps, outers)):
-            if outer < cap:
-                outers[index] = outer * _smallest_prime_factor(cap // outer)
-                bumped = True
-                break
-        if not bumped:
-            break
-    return best
+    winner = _select_candidate(engine, group, candidates, fused_model)
+    if winner is None:
+        return best
+    mappings = candidates[winner]
+    cost = fused_model.evaluate_group(group, mappings)
+    retiled = any(
+        new.summary() != old.summary() for new, old in zip(mappings, base_mappings)
+    )
+    return mappings, cost, retiled
 
 
 def schedule_fused_network(
@@ -283,12 +406,15 @@ def schedule_fused_network(
     executor: str = "thread",
     label: str = "",
     observer=None,
+    fusion_options=None,
 ) -> NetworkSchedule:
     """Schedule ``layers`` under a fusion plan (see module docstring).
 
     ``fusion`` is anything :func:`~repro.fusion.plan.plan_for` accepts:
     ``"auto"``, a :class:`~repro.fusion.plan.FusionPlan` or a single
-    :class:`~repro.fusion.group.FusionGroup`.
+    :class:`~repro.fusion.group.FusionGroup`.  ``fusion_options`` tunes the
+    alignment search (``max_candidates``); it is an execution knob and never
+    part of cache keys or result fingerprints.
     """
     from repro.noc.traffic import validate_fused_transfers
 
@@ -366,7 +492,9 @@ def schedule_fused_network(
             continue
 
         base_mappings = [outcome.mapping for outcome in group_outcomes]
-        mappings, cost, retiled = _align_group(engine, group, base_mappings, fused_model)
+        mappings, cost, retiled = _align_group(
+            engine, group, base_mappings, fused_model, options=fusion_options
+        )
         for offset, mapping in enumerate(mappings):
             outcome = group_outcomes[offset]
             if mapping is not outcome.mapping:

@@ -239,6 +239,48 @@ class _ProblemTables:
 
 
 @dataclass
+class DramBoundaryFlowBatch:
+    """Per-candidate DRAM-boundary flow of one tensor (arrays of length ``B``).
+
+    The batched twin of the :class:`~repro.model.nest.BoundaryFlow` whose
+    parent is DRAM: the same post-adjustment word counts the scalar analysis
+    reports, per candidate.  ``child_level`` is a pure function of the
+    architecture (the outermost on-chip level holding the tensor).
+    """
+
+    tensor: TensorKind
+    child_level: int
+    words_into_child: "np.ndarray"
+    words_read_from_parent: "np.ndarray"
+    words_written_to_parent: "np.ndarray"
+
+
+@dataclass
+class BatchEvalDetail:
+    """A :class:`BatchCostResult` plus the intermediates the fused combiner needs.
+
+    Every array is a reference to data the evaluation already computed —
+    requesting the detail view costs nothing extra.  The fields mirror the
+    scalar quantities :class:`~repro.model.fused.FusedCostModel` reads off a
+    :class:`~repro.model.nest.NestAnalysis`:
+
+    * ``compute_cycles[B]`` — temporal iterations (latency's compute term),
+    * ``words_served[B, L]`` — words served by each level to its children
+      (the per-level memory-cycles numerator),
+    * ``instances[B, L]`` — active instances per level,
+    * ``used_bytes[B, L]`` — buffer occupancy per level (``utilization_bytes``),
+    * ``dram_flows`` — the DRAM-bordering boundary flow of each tensor.
+    """
+
+    result: BatchCostResult
+    compute_cycles: "np.ndarray"
+    words_served: "np.ndarray"
+    instances: "np.ndarray"
+    used_bytes: "np.ndarray"
+    dram_flows: dict
+
+
+@dataclass
 class BatchCostResult:
     """Per-candidate evaluation results (arrays of length ``B``).
 
@@ -392,6 +434,25 @@ class BatchCostModel:
     # ----------------------------------------------------------------- evaluate
     def evaluate_batch(self, batch: MappingBatch) -> BatchCostResult:
         """Validate and evaluate every candidate of ``batch`` at once."""
+        result, _ = self._evaluate(batch, want_detail=False)
+        return result
+
+    def evaluate_detail(self, batch: MappingBatch) -> BatchEvalDetail:
+        """Evaluate ``batch`` and return the :class:`BatchEvalDetail` view.
+
+        The fused-group combiner (:mod:`repro.model.fused_batch`) needs the
+        per-level words-served / instances / occupancy intermediates and the
+        DRAM-boundary flows in addition to the headline result.
+        """
+        _, detail = self._evaluate(batch, want_detail=True)
+        if detail is None:
+            raise ValueError(
+                "batch level count does not match the architecture; "
+                "detail evaluation requires matching hierarchies"
+            )
+        return detail
+
+    def _evaluate(self, batch: MappingBatch, want_detail: bool):
         layer = batch.layer
         tables = self._tables(layer.problem)
         B = batch.size
@@ -400,12 +461,13 @@ class BatchCostModel:
 
         if batch.num_levels != self.num_levels:
             inf = np.full(B, np.inf)
-            return BatchCostResult(
+            result = BatchCostResult(
                 valid=np.zeros(B, dtype=bool),
                 latency=inf,
                 energy=inf.copy(),
                 utilization=np.zeros(B),
             )
+            return result, None
 
         layer_bounds = layer.bounds
         bounds = np.array([layer_bounds[dim] for dim in tables.dims], dtype=np.float64)
@@ -457,6 +519,7 @@ class BatchCostModel:
         # by flow in the scalar iteration order.
         words_served = np.zeros((B, L), dtype=np.float64)
         noc_words = {tensor: np.zeros(B, dtype=np.float64) for tensor in TensorKind}
+        dram_flows: dict[TensorKind, DramBoundaryFlowBatch] = {}
 
         for tensor, child, parent in self._flow_pairs:
             t = int(tensor)
@@ -473,6 +536,15 @@ class BatchCostModel:
                 words_read_back = np.where(pending[child], words_written_to_parent, 0.0)
                 words_into_child = words_read_back * reduction_lanes
                 words_read_from_parent = words_read_back
+
+            if want_detail and parent == self.dram_index:
+                dram_flows[tensor] = DramBoundaryFlowBatch(
+                    tensor=tensor,
+                    child_level=child,
+                    words_into_child=words_into_child,
+                    words_read_from_parent=words_read_from_parent,
+                    words_written_to_parent=words_written_to_parent,
+                )
 
             writes[:, child, t] += words_into_child
             reads[:, parent, t] += words_read_from_parent
@@ -522,12 +594,23 @@ class BatchCostModel:
 
         utilization = np.minimum(1.0, sf.reshape(B, -1).prod(axis=1) / self._total_lanes)
 
-        return BatchCostResult(
+        result = BatchCostResult(
             valid=valid,
             latency=np.where(valid, latency, np.inf),
             energy=np.where(valid, energy, np.inf),
             utilization=np.where(valid, utilization, 0.0),
         )
+        detail = None
+        if want_detail:
+            detail = BatchEvalDetail(
+                result=result,
+                compute_cycles=compute_cycles,
+                words_served=words_served,
+                instances=instances,
+                used_bytes=used_bytes,
+                dram_flows=dram_flows,
+            )
+        return result, detail
 
     def evaluate_mappings(self, mappings: Sequence[Mapping]) -> BatchCostResult:
         """Convenience: pack ``mappings`` into a batch and evaluate it."""

@@ -41,10 +41,24 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from math import isfinite
 
+from typing import TYPE_CHECKING
+
 from repro.arch.accelerator import Accelerator
 from repro.model.cost import CostModel, CostResult
 from repro.model.nest import NestAnalysis
 from repro.workloads.layer import TensorKind
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.mapping.mapping import Mapping
+
+
+@dataclass
+class _MemoEntry:
+    """Per-mapping memo: the scalar result plus lazily built derived views."""
+
+    result: CostResult
+    analysis: NestAnalysis | None = None
+    traffic: tuple[float, float] | None = None
 
 
 @dataclass
@@ -133,6 +147,43 @@ class FusedGroupCost:
         }
 
 
+def default_pin_level(accelerator: Accelerator) -> int | None:
+    """Outermost on-chip level holding both INPUT and OUTPUT tensors.
+
+    The handover level must sit on both tensors' storage paths: the producer
+    evicts its output tile there and the consumer fills its input tile from
+    there.  ``None`` when the architecture has no such level below DRAM
+    (then nothing can be pinned).
+    """
+    hierarchy = accelerator.hierarchy
+    dram = hierarchy.dram_index
+    for index in range(dram - 1, -1, -1):
+        level = hierarchy[index]
+        if level.holds(TensorKind.INPUT) and level.holds(TensorKind.OUTPUT):
+            return index
+    return None
+
+
+def resolve_pin_level(accelerator: Accelerator, pin_level=None) -> int | None:
+    """Normalize a pin-level request (index, level name, or ``None``)."""
+    if pin_level is None:
+        return default_pin_level(accelerator)
+    hierarchy = accelerator.hierarchy
+    if isinstance(pin_level, str):
+        names = list(hierarchy.names)
+        if pin_level not in names:
+            raise ValueError(
+                f"unknown memory level {pin_level!r}; available: {names}"
+            )
+        pin_level = names.index(pin_level)
+    if not 0 <= pin_level < hierarchy.dram_index:
+        raise ValueError(
+            f"pin level {pin_level} must be an on-chip level "
+            f"(0..{hierarchy.dram_index - 1})"
+        )
+    return pin_level
+
+
 def dram_boundary_traffic(analysis: NestAnalysis) -> tuple[float, float]:
     """``(words, bytes)`` crossing the DRAM boundary for one mapping."""
     dram = analysis.hierarchy.dram_index
@@ -148,47 +199,63 @@ def dram_boundary_traffic(analysis: NestAnalysis) -> tuple[float, float]:
 
 
 class FusedCostModel:
-    """Evaluate fusion groups with pinned on-chip intermediates."""
+    """Evaluate fusion groups with pinned on-chip intermediates.
+
+    Per-mapping scalar results, nest analyses, and DRAM boundary traffic are
+    memoized across :meth:`evaluate_group` calls (keyed by mapping object
+    identity — :class:`~repro.mapping.mapping.Mapping` is identity-hashed):
+    alignment search re-evaluates a group many times while disturbing only
+    one equivalence class per step, so the untouched operators hit the memo.
+    ``scalar_evaluations`` / ``memo_hits`` expose the counters for tests.
+    """
+
+    #: Memo entries kept before the cache resets (identity-keyed entries are
+    #: only reusable while the caller holds the same Mapping objects, so a
+    #: bounded reset is enough).
+    MEMO_LIMIT = 8192
 
     def __init__(self, accelerator: Accelerator):
         self.accelerator = accelerator
         self.scalar = CostModel(accelerator)
+        self._memo: dict[Mapping, _MemoEntry] = {}
+        self.scalar_evaluations = 0
+        self.memo_hits = 0
+
+    # ------------------------------------------------------------ memoization
+    def clear_memo(self) -> None:
+        """Drop every memoized per-mapping entry (counters stay)."""
+        self._memo.clear()
+
+    def _entry(self, mapping: Mapping) -> "_MemoEntry":
+        entry = self._memo.get(mapping)
+        if entry is None:
+            if len(self._memo) >= self.MEMO_LIMIT:
+                self._memo.clear()
+            self.scalar_evaluations += 1
+            entry = _MemoEntry(self.scalar.evaluate(mapping))
+            self._memo[mapping] = entry
+        else:
+            self.memo_hits += 1
+        return entry
+
+    def _analysis(self, mapping: Mapping, entry: "_MemoEntry") -> NestAnalysis:
+        if entry.analysis is None:
+            entry.analysis = NestAnalysis(mapping, self.accelerator)
+        return entry.analysis
+
+    def _traffic(self, mapping: Mapping, entry: "_MemoEntry") -> tuple[float, float]:
+        if entry.traffic is None:
+            entry.traffic = dram_boundary_traffic(self._analysis(mapping, entry))
+        return entry.traffic
 
     # ---------------------------------------------------------------- pinning
     def default_pin_level(self) -> int | None:
-        """Outermost on-chip level holding both INPUT and OUTPUT tensors.
-
-        The handover level must sit on both tensors' storage paths: the
-        producer evicts its output tile there and the consumer fills its
-        input tile from there.  ``None`` when the architecture has no such
-        level below DRAM (then nothing can be pinned).
-        """
-        hierarchy = self.accelerator.hierarchy
-        dram = hierarchy.dram_index
-        for index in range(dram - 1, -1, -1):
-            level = hierarchy[index]
-            if level.holds(TensorKind.INPUT) and level.holds(TensorKind.OUTPUT):
-                return index
-        return None
+        """See :func:`default_pin_level` (module-level twin)."""
+        return default_pin_level(self.accelerator)
 
     def resolve_pin_level(self, pin_level=None) -> int | None:
-        """Normalize a pin-level request (index, level name, or ``None``)."""
-        if pin_level is None:
-            return self.default_pin_level()
-        hierarchy = self.accelerator.hierarchy
-        if isinstance(pin_level, str):
-            names = list(hierarchy.names)
-            if pin_level not in names:
-                raise ValueError(
-                    f"unknown memory level {pin_level!r}; available: {names}"
-                )
-            pin_level = names.index(pin_level)
-        if not 0 <= pin_level < hierarchy.dram_index:
-            raise ValueError(
-                f"pin level {pin_level} must be an on-chip level "
-                f"(0..{hierarchy.dram_index - 1})"
-            )
-        return pin_level
+        """See :func:`resolve_pin_level` (module-level twin)."""
+        return resolve_pin_level(self.accelerator, pin_level)
 
     # -------------------------------------------------------------- alignment
     @staticmethod
@@ -226,7 +293,8 @@ class FusedCostModel:
                 f"group {group.name!r} has {len(group.layers)} operators but "
                 f"{len(mappings)} mappings were given"
             )
-        per_op = [self.scalar.evaluate(mapping) for mapping in mappings]
+        entries = [self._entry(mapping) for mapping in mappings]
+        per_op = [entry.result for entry in entries]
         invalid = [i for i, result in enumerate(per_op) if not result.valid]
         if invalid:
             return FusedGroupCost(
@@ -239,8 +307,12 @@ class FusedCostModel:
                 ],
             )
 
-        analyses = [NestAnalysis(mapping, self.accelerator) for mapping in mappings]
-        traffic = [dram_boundary_traffic(analysis) for analysis in analyses]
+        analyses = [
+            self._analysis(mapping, entry) for mapping, entry in zip(mappings, entries)
+        ]
+        traffic = [
+            self._traffic(mapping, entry) for mapping, entry in zip(mappings, entries)
+        ]
         unfused_latency = sum(result.latency for result in per_op)
         unfused_energy = sum(result.energy for result in per_op)
         unfused_words = sum(words for words, _ in traffic)

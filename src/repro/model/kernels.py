@@ -49,7 +49,14 @@ except ImportError:  # pragma: no cover
     HAVE_NUMPY = False
 
 from repro.arch.accelerator import Accelerator
-from repro.model.batch import PAD, BatchCostResult, MappingBatch, _ProblemTables
+from repro.model.batch import (
+    PAD,
+    BatchCostResult,
+    BatchEvalDetail,
+    DramBoundaryFlowBatch,
+    MappingBatch,
+    _ProblemTables,
+)
 from repro.workloads.layer import TensorKind
 from repro.workloads.problem import TensorProblem
 
@@ -60,6 +67,8 @@ __all__ = [
     "KernelCompiler",
     "CompiledKernel",
     "CompiledCostModel",
+    "CompiledFusedKernel",
+    "compile_fused",
     "kernel_cache_info",
     "clear_kernel_cache",
 ]
@@ -338,6 +347,24 @@ class CompiledKernel:
         The expression structure is the batched model's, which mirrors the
         scalar oracle; only the setup work has moved to compile time.
         """
+        result, _ = self._evaluate(batch, want_detail=False)
+        return result
+
+    def evaluate_detail(self, batch: MappingBatch) -> BatchEvalDetail:
+        """Evaluate ``batch`` and return the detail view the fused combiner needs.
+
+        The compiled twin of :meth:`BatchCostModel.evaluate_detail` — the
+        same intermediates captured off the compiled expressions.
+        """
+        _, detail = self._evaluate(batch, want_detail=True)
+        if detail is None:
+            raise ValueError(
+                "batch level count does not match the architecture; "
+                "detail evaluation requires matching hierarchies"
+            )
+        return detail
+
+    def _evaluate(self, batch: MappingBatch, want_detail: bool):
         layer = batch.layer
         if layer.problem.name != self.problem.name:
             raise ValueError(
@@ -350,12 +377,13 @@ class CompiledKernel:
 
         if batch.num_levels != L:
             inf = np.full(B, np.inf)
-            return BatchCostResult(
+            result = BatchCostResult(
                 valid=np.zeros(B, dtype=bool),
                 latency=inf,
                 energy=inf.copy(),
                 utilization=np.zeros(B),
             )
+            return result, None
 
         bounds, volumes, macs, stride = self._consts(layer)
         total = tf * sf
@@ -398,6 +426,7 @@ class CompiledKernel:
         writes = np.zeros((B, L, len(TensorKind)), dtype=np.float64)
         words_served = np.zeros((B, L), dtype=np.float64)
         noc_words = {tensor: np.zeros(B, dtype=np.float64) for tensor in TensorKind}
+        dram_flows: dict[TensorKind, DramBoundaryFlowBatch] = {}
 
         for tensor, child, parent in self._flow_pairs:
             t = int(tensor)
@@ -414,6 +443,15 @@ class CompiledKernel:
                 words_read_back = np.where(pending[child], words_written_to_parent, 0.0)
                 words_into_child = words_read_back * reduction_lanes
                 words_read_from_parent = words_read_back
+
+            if want_detail and parent == self.dram_index:
+                dram_flows[tensor] = DramBoundaryFlowBatch(
+                    tensor=tensor,
+                    child_level=child,
+                    words_into_child=words_into_child,
+                    words_read_from_parent=words_read_from_parent,
+                    words_written_to_parent=words_written_to_parent,
+                )
 
             writes[:, child, t] += words_into_child
             reads[:, parent, t] += words_read_from_parent
@@ -462,12 +500,23 @@ class CompiledKernel:
 
         utilization = np.minimum(1.0, sf.reshape(B, -1).prod(axis=1) / self._total_lanes)
 
-        return BatchCostResult(
+        result = BatchCostResult(
             valid=valid,
             latency=np.where(valid, latency, np.inf),
             energy=np.where(valid, energy, np.inf),
             utilization=np.where(valid, utilization, 0.0),
         )
+        detail = None
+        if want_detail:
+            detail = BatchEvalDetail(
+                result=result,
+                compute_cycles=compute_cycles,
+                words_served=words_served,
+                instances=instances,
+                used_bytes=used_bytes,
+                dram_flows=dram_flows,
+            )
+        return result, detail
 
     def evaluate_draws(self, draws) -> BatchCostResult:
         """Pack ``draws`` with the fast path and evaluate them."""
@@ -479,18 +528,30 @@ class CompiledKernel:
 #: ``(problem fingerprint, arch fingerprint, effective backend)``.
 _KERNEL_CACHE: dict[tuple[str, str, str], CompiledKernel] = {}
 _CACHE_STATS = {"hits": 0, "misses": 0}
+#: Process-wide compiled fused-group kernels keyed by
+#: ``(group fingerprint, arch fingerprint, effective backend)``.
+_FUSED_CACHE: dict[tuple[str, str, str], "CompiledFusedKernel"] = {}
+_FUSED_STATS = {"fused_hits": 0, "fused_misses": 0}
 
 
 def kernel_cache_info() -> dict:
-    """Hit/miss counters and entry count of the process-wide kernel cache."""
-    return {**_CACHE_STATS, "entries": len(_KERNEL_CACHE)}
+    """Hit/miss counters and entry counts of the process-wide kernel caches."""
+    return {
+        **_CACHE_STATS,
+        "entries": len(_KERNEL_CACHE),
+        **_FUSED_STATS,
+        "fused_entries": len(_FUSED_CACHE),
+    }
 
 
 def clear_kernel_cache() -> None:
-    """Drop every compiled kernel (used by tests and benchmarks)."""
+    """Drop every compiled kernel, per-problem and fused (tests/benchmarks)."""
     _KERNEL_CACHE.clear()
     _CACHE_STATS["hits"] = 0
     _CACHE_STATS["misses"] = 0
+    _FUSED_CACHE.clear()
+    _FUSED_STATS["fused_hits"] = 0
+    _FUSED_STATS["fused_misses"] = 0
 
 
 class KernelCompiler:
@@ -533,6 +594,83 @@ class KernelCompiler:
         kernel = CompiledKernel(problem, self.accelerator, self.backend)
         _KERNEL_CACHE[key] = kernel
         return kernel
+
+
+class CompiledFusedKernel:
+    """Compiled fused-group evaluation: per-operator kernels + fused combiner.
+
+    Composes the existing per-problem :class:`CompiledKernel` instances (one
+    per operator, shared through the process-wide cache) with the fused
+    combiner of :mod:`repro.model.fused_batch` — the same combiner the
+    plain :class:`~repro.model.fused_batch.BatchFusedCostModel` runs, so the
+    two fast paths are identical by construction and both stay bit-for-bit
+    equal to the scalar :class:`~repro.model.fused.FusedCostModel` oracle.
+    Built by :func:`compile_fused` (cached process-wide), never directly.
+    """
+
+    def __init__(self, group, accelerator: Accelerator, backend: str | None = None):
+        start = time.perf_counter()
+        self.group = group
+        self.accelerator = accelerator
+        compiler = KernelCompiler(accelerator, backend=backend)
+        self.backend = compiler.backend
+        self.effective_backend = (
+            "numba" if compiler.backend == "numba" and numba_available() else "numpy"
+        )
+        self.kernels = [compiler.compile(layer.problem) for layer in group.layers]
+        from repro.model.fused import resolve_pin_level
+
+        self._resolve_pin = resolve_pin_level
+        self.build_seconds = time.perf_counter() - start
+
+    def evaluate_group(self, fused_batch, fused: bool = True, pin_level=None):
+        """Evaluate every candidate group tiling of ``fused_batch`` at once."""
+        from repro.model.fused_batch import combine_group_details
+
+        group = fused_batch.group
+        if group.fingerprint() != self.group.fingerprint():
+            raise ValueError(
+                f"fused kernel compiled for group {self.group.name!r} cannot "
+                f"evaluate group {group.name!r}"
+            )
+        pin = self._resolve_pin(self.accelerator, pin_level)
+        details = [
+            kernel.evaluate_detail(batch)
+            for kernel, batch in zip(self.kernels, fused_batch.batches)
+        ]
+        return combine_group_details(
+            self.accelerator,
+            group,
+            fused_batch.batches,
+            details,
+            fused=fused,
+            pin=pin,
+        )
+
+
+def compile_fused(group, accelerator: Accelerator, backend: str | None = None) -> CompiledFusedKernel:
+    """The compiled fused kernel for ``group`` (cached process-wide).
+
+    Keyed by ``(group fingerprint, arch fingerprint, effective backend)``;
+    the per-operator kernels it composes land in (and come from) the
+    regular per-problem cache.
+    """
+    backend_name = resolve_backend(backend)
+    if backend_name == "off":
+        raise ValueError(
+            "backend 'off' disables compilation at the scheduler level; "
+            "pick 'numpy' or 'numba' to compile fused kernels"
+        )
+    effective = "numba" if backend_name == "numba" and numba_available() else "numpy"
+    key = (group.fingerprint(), accelerator.fingerprint(), effective)
+    kernel = _FUSED_CACHE.get(key)
+    if kernel is not None:
+        _FUSED_STATS["fused_hits"] += 1
+        return kernel
+    _FUSED_STATS["fused_misses"] += 1
+    kernel = CompiledFusedKernel(group, accelerator, backend=backend_name)
+    _FUSED_CACHE[key] = kernel
+    return kernel
 
 
 class CompiledCostModel:

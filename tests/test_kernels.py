@@ -154,7 +154,14 @@ class TestKernelCache:
     def test_clear_kernel_cache_resets_counters(self):
         KernelCompiler(ARCH).compile(matmul(m=4, n=4, k=4, name="tiny").problem)
         clear_kernel_cache()
-        assert kernel_cache_info() == {"hits": 0, "misses": 0, "entries": 0}
+        assert kernel_cache_info() == {
+            "hits": 0,
+            "misses": 0,
+            "entries": 0,
+            "fused_hits": 0,
+            "fused_misses": 0,
+            "fused_entries": 0,
+        }
 
     def test_kernel_records_build_time(self):
         clear_kernel_cache()
